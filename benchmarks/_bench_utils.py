@@ -1,0 +1,8 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def report(table) -> None:
+    """Print a ResultTable between blank lines so it stays readable in logs."""
+    print("\n" + table.render() + "\n")

@@ -1,0 +1,34 @@
+"""Ablation ``abl_baseline`` — decentralized LIDC vs a centralized controller.
+
+The paper's motivation (§I, §VIII): logically centralized multi-cluster
+control planes are a single point of failure and adapt poorly to dynamic
+cluster membership.  This benchmark runs the same workload through (a) the
+LIDC overlay and (b) a centralized federation controller, then injects the
+failure each design is most exposed to: a whole cluster disappears for LIDC,
+and the controller process dies for the baseline.  Expected shape: LIDC keeps
+placing 100 % of requests on the surviving clusters; the centralized design
+accepts nothing once its controller is gone.
+"""
+
+from _bench_utils import report
+
+from repro.analysis.experiments import run_baseline_comparison
+
+
+def test_decentralized_vs_centralized_availability(benchmark):
+    result = benchmark.pedantic(
+        run_baseline_comparison,
+        kwargs={"seed": 0, "cluster_count": 3, "requests_per_phase": 6, "job_duration_s": 60.0},
+        rounds=1, iterations=1,
+    )
+    report(result.to_table())
+
+    assert result.lidc_success_normal == 1.0
+    assert result.central_success_normal == 1.0
+    assert result.lidc_success_after_cluster_failure == 1.0
+    assert result.central_success_after_controller_failure == 0.0
+    # LIDC spread work over more than one cluster without a controller.
+    assert len(result.lidc_placements) >= 2
+
+    benchmark.extra_info["lidc_after_failure"] = result.lidc_success_after_cluster_failure
+    benchmark.extra_info["central_after_failure"] = result.central_success_after_controller_failure

@@ -1,0 +1,42 @@
+"""Experiment ``fig1_overlay`` — the multi-cluster overlay under churn (Fig. 1).
+
+Clusters join and leave the overlay while a client keeps submitting the same
+named requests.  The expected shape: placement success stays at 100 % in every
+phase, the departed cluster stops receiving work, and a newly joined cluster
+starts receiving work — all without any client-side reconfiguration.
+"""
+
+from _bench_utils import report
+
+from repro.analysis.experiments import run_overlay_churn
+
+
+def test_overlay_churn_three_clusters(benchmark):
+    result = benchmark.pedantic(
+        run_overlay_churn,
+        kwargs={"seed": 0, "cluster_count": 3, "requests_per_phase": 6, "job_duration_s": 60.0},
+        rounds=1, iterations=1,
+    )
+    report(result.to_table())
+
+    assert result.success_before == 1.0
+    assert result.success_after_leave == 1.0
+    assert result.success_after_join == 1.0
+    clusters_after_leave = {o.submission.cluster for o in result.outcomes_after_leave}
+    assert result.removed_cluster not in clusters_after_leave
+    clusters_after_join = {o.submission.cluster for o in result.outcomes_after_join}
+    assert result.added_cluster in clusters_after_join
+
+    benchmark.extra_info["success_after_leave"] = result.success_after_leave
+    benchmark.extra_info["success_after_join"] = result.success_after_join
+
+
+def test_overlay_scales_to_eight_clusters(benchmark):
+    result = benchmark.pedantic(
+        run_overlay_churn,
+        kwargs={"seed": 1, "cluster_count": 8, "requests_per_phase": 8, "job_duration_s": 30.0},
+        rounds=1, iterations=1,
+    )
+    assert result.success_before == 1.0
+    assert result.success_after_leave == 1.0
+    benchmark.extra_info["clusters"] = 8

@@ -1,0 +1,28 @@
+"""Experiment ``fig2`` — transparent data & compute placement based on names (Fig. 2).
+
+Measures the latency of purely name-addressed operations on one cluster: a
+dataset manifest fetch, a segmented payload fetch, a compute-request
+acknowledgement, and a repeated fetch answered by an on-path content store.
+Expected shape: all control-plane operations complete in network-scale time
+(milliseconds of simulated time), and the repeated fetch is faster than the
+first because it never leaves the first forwarder.
+"""
+
+from _bench_utils import report
+
+from repro.analysis.experiments import run_fig2_name_placement
+
+
+def test_fig2_name_based_placement(benchmark):
+    result = benchmark.pedantic(run_fig2_name_placement, kwargs={"seed": 0}, rounds=1, iterations=1)
+    report(result.to_table())
+
+    assert 0 < result.compute_ack_latency_s < 1.0
+    assert 0 < result.data_manifest_latency_s < 1.0
+    assert result.data_payload_latency_s >= result.data_manifest_latency_s
+    assert result.cached_manifest_latency_s < result.data_manifest_latency_s
+
+    benchmark.extra_info["compute_ack_latency_s"] = result.compute_ack_latency_s
+    benchmark.extra_info["cache_speedup"] = (
+        result.data_manifest_latency_s / max(result.cached_manifest_latency_s, 1e-9)
+    )

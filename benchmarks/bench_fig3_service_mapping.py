@@ -1,0 +1,29 @@
+"""Experiment ``fig3_fig4`` — mapping LIDC onto Kubernetes components (Figs. 3 & 4).
+
+Verifies the Kubernetes-side of the deployment the figures describe: the
+gateway NFD exposed through a NodePort in 30000–32767, the data-lake NFD
+reachable at ``dl-nfd.ndnk8s.svc.cluster.local`` with a ClusterIP, running
+system pods behind both services, and a manifest fetch that traverses
+gateway NFD → data-lake NFD → file server.
+"""
+
+from _bench_utils import report
+
+from repro.analysis.experiments import run_fig3_service_mapping
+
+
+def test_fig3_fig4_service_mapping(benchmark):
+    result = benchmark.pedantic(run_fig3_service_mapping, kwargs={"seed": 0}, rounds=1, iterations=1)
+    report(result.to_table())
+
+    assert 30000 <= result.node_port <= 32767
+    assert result.gateway_dns == "gateway-nfd.ndnk8s.svc.cluster.local"
+    assert result.datalake_dns == "dl-nfd.ndnk8s.svc.cluster.local"
+    assert result.datalake_cluster_ip.startswith("10.152.")
+    assert result.gateway_endpoints >= 1
+    assert result.datalake_endpoints >= 1
+    assert result.system_pods_running >= 3
+    assert 0 < result.manifest_via_gateway_latency_s < 1.0
+
+    benchmark.extra_info["node_port"] = result.node_port
+    benchmark.extra_info["manifest_latency_s"] = result.manifest_via_gateway_latency_s

@@ -1,0 +1,43 @@
+"""Experiment ``fig5`` — the LIDC workflow protocol (Fig. 5).
+
+Runs the full five-step genomics workflow (named compute Interest → gateway →
+Kubernetes job → status polls → result retrieval from the data lake) and
+decomposes the end-to-end latency into the protocol steps.  Expected shape:
+the computation step dominates (> 99 %) while naming, forwarding, status
+polling and result retrieval contribute negligible overhead.
+"""
+
+from _bench_utils import report
+
+from repro.analysis.experiments import run_fig5_workflow
+
+
+def test_fig5_workflow_protocol_rice(benchmark):
+    result = benchmark.pedantic(
+        run_fig5_workflow,
+        kwargs={"seed": 0, "srr_id": "SRR2931415", "cpu": 2, "memory_gb": 4},
+        rounds=1, iterations=1,
+    )
+    report(result.to_table())
+
+    assert result.report.succeeded
+    assert result.compute_fraction() > 0.99
+    assert result.step_seconds("submit_and_ack") < 1.0
+    assert result.step_seconds("result_retrieval") < 1.0
+    assert 29_000 < result.end_to_end_s < 31_000
+
+    benchmark.extra_info["end_to_end_s"] = result.end_to_end_s
+    benchmark.extra_info["compute_fraction"] = result.compute_fraction()
+
+
+def test_fig5_workflow_protocol_kidney(benchmark):
+    result = benchmark.pedantic(
+        run_fig5_workflow,
+        kwargs={"seed": 0, "srr_id": "SRR5139395", "cpu": 2, "memory_gb": 4,
+                "poll_interval_s": 1800.0},
+        rounds=1, iterations=1,
+    )
+    assert result.report.succeeded
+    assert result.compute_fraction() > 0.99
+    assert 86_000 < result.end_to_end_s < 90_000
+    benchmark.extra_info["end_to_end_s"] = result.end_to_end_s

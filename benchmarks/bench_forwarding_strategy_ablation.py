@@ -1,0 +1,73 @@
+"""Ablation — forwarding-strategy choice for ``/ndn/k8s/compute`` (DESIGN.md §6).
+
+LIDC leaves the "which cluster" decision to the forwarding strategy of the
+access routers.  This ablation submits the same batch of concurrent jobs under
+three strategies and reports where the work landed:
+
+* **best-route** (NFD default): everything goes to the lowest-cost (nearest)
+  cluster until it runs out of capacity and starts NACKing;
+* **round-robin load balancing**: requests are spread evenly across all
+  clusters announcing the prefix;
+* **weighted load balancing**: spread proportionally to the inverse route
+  cost, favouring near clusters without starving far ones.
+
+Expected shape: best-route concentrates work, round-robin spreads it evenly,
+weighted sits in between — and every request is served in all three cases.
+"""
+
+from collections import Counter
+
+from repro.core import ComputeRequest, LIDCTestbed
+from repro.ndn.strategy import BestRouteStrategy, LoadBalanceStrategy
+
+
+def _run_with_strategy(strategy, jobs: int = 9, seed: int = 0) -> Counter:
+    testbed = LIDCTestbed.multi_cluster(
+        3, seed=seed, node_count=1, node_cpu=16, node_memory="64Gi",
+        latencies_s=[0.005, 0.03, 0.08],
+    )
+    testbed.overlay.set_compute_strategy(strategy)
+    client = testbed.client(poll_interval_s=10.0)
+
+    def submit_all():
+        submissions = []
+        for index in range(jobs):
+            submission = yield from client.submit(
+                ComputeRequest(app="SLEEP", cpu=2, memory_gb=2,
+                               params={"duration": "300", "idx": str(index)}))
+            submissions.append(submission)
+        return submissions
+
+    submissions = testbed.run_process(submit_all())
+    assert all(s.accepted for s in submissions)
+    return Counter(s.cluster for s in submissions)
+
+
+def test_forwarding_strategy_distribution(benchmark):
+    def run_all():
+        return {
+            "best-route": _run_with_strategy(BestRouteStrategy()),
+            "round-robin": _run_with_strategy(LoadBalanceStrategy(weighted=False)),
+            "weighted": _run_with_strategy(LoadBalanceStrategy(weighted=True)),
+        }
+
+    distributions = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print("\nPlacement distribution by forwarding strategy (9 concurrent jobs, 3 clusters):")
+    for strategy, counts in distributions.items():
+        print(f"  {strategy:<12s} {dict(sorted(counts.items()))}")
+
+    best_route = distributions["best-route"]
+    round_robin = distributions["round-robin"]
+    # Best-route concentrates work on the nearest cluster until its capacity
+    # runs out (7 two-CPU jobs on a 16-CPU node), then spills via NACK retry.
+    assert best_route.most_common(1)[0][0] == "cluster-a"
+    assert best_route.most_common(1)[0][1] >= 7
+    # Round-robin uses every cluster and spreads the work evenly.
+    assert len(round_robin) == 3
+    assert max(round_robin.values()) - min(round_robin.values()) <= 1
+    # Weighted load balancing still reaches more than one cluster.
+    assert len(distributions["weighted"]) >= 2
+
+    benchmark.extra_info["best_route_clusters"] = len(best_route)
+    benchmark.extra_info["round_robin_clusters"] = len(round_robin)

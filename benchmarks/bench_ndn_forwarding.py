@@ -1,0 +1,94 @@
+"""Microbenchmark ``micro_ndn`` — NDN substrate performance.
+
+These are wall-clock microbenchmarks of the substrate beneath LIDC: packet
+codec throughput, FIB longest-prefix-match scaling, content-store operation
+cost, and end-to-end Interest/Data exchanges through a two-forwarder chain.
+They exist so regressions in the forwarding plane (which every LIDC operation
+crosses) are caught by the benchmark harness.
+"""
+
+from repro.ndn.cs import ContentStore
+from repro.ndn.client import Consumer, Producer
+from repro.ndn.face import connect
+from repro.ndn.fib import Fib
+from repro.ndn.forwarder import Forwarder
+from repro.ndn.name import Name
+from repro.ndn.packet import Data, Interest
+from repro.ndn.routing import RoutingDaemon
+from repro.sim.engine import Environment
+from repro.sim.topology import Link
+
+
+def test_interest_wire_round_trip(benchmark):
+    interest = Interest(name=Name("/ndn/k8s/compute/app=BLAST&cpu=2&mem=4&srr=SRR2931415"))
+
+    def round_trip():
+        return Interest.decode(interest.encode())
+
+    decoded = benchmark(round_trip)
+    assert decoded.name == interest.name
+
+
+def test_data_wire_round_trip_8k_payload(benchmark):
+    data = Data(name=Name("/ndn/k8s/data/sample/seg=0"), content=b"x" * 8192).sign()
+
+    def round_trip():
+        return Data.decode(data.encode())
+
+    decoded = benchmark(round_trip)
+    assert len(decoded.content) == 8192
+
+
+def test_fib_longest_prefix_match_10k_routes(benchmark):
+    fib = Fib()
+    for index in range(10_000):
+        fib.add_route(f"/site/{index // 100}/svc/{index}", face_id=(index % 32) + 1, cost=index % 7)
+    lookups = [Name(f"/site/{i // 100}/svc/{i}/extra/component") for i in range(0, 10_000, 97)]
+
+    def run_lookups():
+        found = 0
+        for name in lookups:
+            if fib.lookup(name) is not None:
+                found += 1
+        return found
+
+    found = benchmark(run_lookups)
+    assert found == len(lookups)
+
+
+def test_content_store_insert_and_find(benchmark):
+    packets = [Data(name=Name(f"/data/obj{i}"), content=b"y" * 100).sign() for i in range(500)]
+    interests = [Interest(name=packet.name) for packet in packets]
+
+    def insert_and_find():
+        cs = ContentStore(capacity=1024)
+        for packet in packets:
+            cs.insert(packet)
+        hits = sum(1 for interest in interests if cs.find(interest) is not None)
+        return hits
+
+    hits = benchmark(insert_and_find)
+    assert hits == 500
+
+
+def test_two_hop_interest_data_exchange(benchmark):
+    """End-to-end exchanges through consumer → edge forwarder → producer forwarder."""
+
+    def run_exchange_batch():
+        env = Environment()
+        edge, origin = Forwarder(env, "edge", cs_capacity=0), Forwarder(env, "origin", cs_capacity=0)
+        face_a, face_b = connect(env, edge, origin,
+                                 link=Link("e", "o", latency_s=0.001), label="e-o")
+        daemon_edge, daemon_origin = RoutingDaemon(edge), RoutingDaemon(origin)
+        RoutingDaemon.peer(daemon_edge, face_a, daemon_origin, face_b)
+        producer = Producer(env, origin, "/svc")
+        for index in range(50):
+            producer.publish(f"/svc/item-{index}", b"payload" * 10)
+        daemon_origin.announce("/svc")
+        consumer = Consumer(env, edge)
+        events = [consumer.express_interest(f"/svc/item-{index}") for index in range(50)]
+        env.run(until=env.all_of(events))
+        return consumer.data_received
+
+    received = benchmark(run_exchange_batch)
+    assert received == 50

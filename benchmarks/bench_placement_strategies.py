@@ -1,0 +1,41 @@
+"""Ablation ``abl_placement`` — placement strategies (paper §VI/§VII).
+
+The paper observes that run time is insensitive to the CPU/memory allocation
+and concludes that "if we deploy intelligence in the network, then the network
+can learn from this data and be able to pick the optimal configuration for
+future tasks".  This ablation compares explicit placement strategies —
+random, round-robin, nearest, least-loaded, and a learned strategy driven by
+the completion-time predictor — on a contended, heterogeneous three-cluster
+deployment.  Expected shape: blindly picking the nearest (small) cluster is
+the worst choice; load-aware and learned strategies finish the same workload
+sooner.
+"""
+
+from _bench_utils import report
+
+from repro.analysis.experiments import run_placement_comparison
+
+
+def test_placement_strategy_ablation(benchmark):
+    result = benchmark.pedantic(
+        run_placement_comparison,
+        kwargs={"seed": 0, "jobs": 16, "job_duration_s": 300.0},
+        rounds=1, iterations=1,
+    )
+    report(result.to_table())
+
+    strategies = {outcome.strategy for outcome in result.outcomes}
+    assert strategies == {"random", "round-robin", "nearest", "least-loaded", "learned"}
+    assert all(outcome.failures == 0 for outcome in result.outcomes)
+
+    nearest = result.outcome_for("nearest")
+    best = result.outcome_for(result.best_strategy())
+    assert best.mean_turnaround_s <= nearest.mean_turnaround_s
+    # The learned strategy must be competitive: no worse than 1.5x the best.
+    learned = result.outcome_for("learned")
+    assert learned.mean_turnaround_s <= 1.5 * best.mean_turnaround_s
+
+    for outcome in result.outcomes:
+        benchmark.extra_info[f"{outcome.strategy}_mean_turnaround_s"] = round(
+            outcome.mean_turnaround_s, 1
+        )

@@ -1,0 +1,42 @@
+"""Experiment ``table1`` — reproduce Table I (Computation Performance).
+
+Re-runs all four Magic-BLAST configurations of the paper's Table I through the
+full LIDC stack (semantic name → gateway → Kubernetes Job → calibrated runtime
+model → result publication) and checks the reproduction matches the paper:
+
+* absolute run times within 1 %,
+* output sizes within 1 %,
+* varying CPU (2→4) or memory (4→6 GB) changes run time by well under 2 % —
+  the paper's "no significant change" takeaway.
+"""
+
+from _bench_utils import report
+
+from repro.analysis.experiments import run_table1
+from repro.genomics.runtime_model import TABLE1_ROWS
+
+
+def test_table1_computation_performance(benchmark):
+    result = benchmark.pedantic(run_table1, kwargs={"seed": 0}, rounds=1, iterations=1)
+    report(result.to_table())
+
+    assert len(result.measurements) == len(TABLE1_ROWS)
+    assert result.max_runtime_error < 0.01
+    for measurement in result.measurements:
+        assert measurement.output_relative_error < 0.01
+    assert result.runtime_spread("SRR2931415") < 0.02
+    assert result.runtime_spread("SRR5139395") < 0.02
+
+    benchmark.extra_info["max_runtime_error"] = result.max_runtime_error
+    benchmark.extra_info["rice_runtime_s"] = result.measurements[0].measured_runtime_s
+    benchmark.extra_info["kidney_runtime_s"] = result.measurements[2].measured_runtime_s
+
+
+def test_table1_single_row_rice(benchmark):
+    """Timing for one Table I row (rice, 4 GB / 2 CPU) through the full stack."""
+    result = benchmark.pedantic(
+        run_table1, kwargs={"seed": 1, "rows": TABLE1_ROWS[:1]}, rounds=1, iterations=1
+    )
+    measurement = result.measurements[0]
+    assert measurement.paper.srr_id == "SRR2931415"
+    assert measurement.runtime_relative_error < 0.01

@@ -1,0 +1,6 @@
+"""Benchmark-directory pytest configuration.
+
+The benchmark modules import shared helpers from ``_bench_utils``; nothing
+else is needed here because the repository-root ``conftest.py`` already makes
+``src/`` importable.
+"""

@@ -1,0 +1,8 @@
+"""Make the examples runnable from a source checkout without installation."""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Multi-cluster placement, cluster churn and failover (paper Fig. 1, §VII).
+
+Builds an overlay of three clusters behind one client edge router, then shows
+the three behaviours the paper highlights:
+
+* requests spread over clusters purely through name-based forwarding;
+* a cluster leaving (gracefully or by failure) never requires client changes;
+* a brand-new cluster starts receiving work as soon as it announces
+  ``/ndn/k8s/compute``.
+
+Run with::
+
+    python examples/multicluster_failover.py
+"""
+
+import _path_setup  # noqa: F401
+
+from collections import Counter
+
+from repro.core import ComputeRequest, LIDCTestbed
+
+
+def run_batch(testbed, client, count, label):
+    def batch():
+        outcomes = []
+        for index in range(count):
+            outcome = yield from client.run_workflow(
+                ComputeRequest(app="SLEEP", cpu=1, memory_gb=1,
+                               params={"duration": "60", "batch": label, "idx": str(index)}),
+                poll_interval_s=10.0, fetch_result=False,
+            )
+            outcomes.append(outcome)
+        return outcomes
+
+    outcomes = testbed.run_process(batch())
+    placement = Counter(o.submission.cluster for o in outcomes if o.succeeded)
+    success = sum(1 for o in outcomes if o.succeeded)
+    print(f"  {label:<28s} success {success}/{count}   placement: {dict(sorted(placement.items()))}")
+    return outcomes
+
+
+def main() -> None:
+    testbed = LIDCTestbed.multi_cluster(3, seed=3, node_count=1, node_cpu=4, node_memory="8Gi")
+    testbed.overlay.use_load_balancing()
+    client = testbed.client(poll_interval_s=10.0)
+
+    print("Phase 1: three clusters in the overlay")
+    run_batch(testbed, client, 6, "initial-overlay")
+
+    print("\nPhase 2: cluster-a leaves gracefully (withdraws its prefixes)")
+    testbed.overlay.remove_cluster("cluster-a")
+    run_batch(testbed, client, 6, "after-graceful-leave")
+
+    print("\nPhase 3: cluster-b fails abruptly (no withdrawal, links just drop)")
+    testbed.overlay.fail_cluster("cluster-b")
+    run_batch(testbed, client, 4, "after-abrupt-failure")
+
+    print("\nPhase 4: a new cluster joins and announces /ndn/k8s/compute")
+    testbed.add_cluster(name="cluster-new")
+    testbed.overlay.use_load_balancing()
+    run_batch(testbed, client, 6, "after-join")
+
+    print("\nAt no point did the client change a single configuration value —")
+    print("it kept expressing the same named requests into the network.")
+
+
+if __name__ == "__main__":
+    main()

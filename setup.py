@@ -1,0 +1,19 @@
+"""Setup shim so editable installs work in offline environments.
+
+The canonical metadata lives in pyproject.toml; this file exists because the
+evaluation environment has no network access for build isolation.
+"""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "LIDC: Location Independent Data and Compute — a name-based "
+        "multi-cluster computing framework (SC-W 2024 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "networkx>=3.0"],
+)

@@ -1,0 +1,37 @@
+"""LIDC reproduction package.
+
+This package reproduces the system described in
+
+    "LIDC: A Location Independent Multi-Cluster Computing Framework for
+    Data Intensive Science", SC-W 2024.
+
+The package is organised as a set of substrates plus the LIDC core:
+
+* :mod:`repro.sim` — discrete-event simulation kernel used by everything.
+* :mod:`repro.ndn` — Named Data Networking substrate (names, packets, CS/PIT/
+  FIB, forwarder, routing).
+* :mod:`repro.cluster` — a Kubernetes-equivalent orchestrator (API server,
+  nodes, pods, scheduler, jobs, services, DNS, storage).
+* :mod:`repro.datalake` — named data lake publishing datasets over NDN.
+* :mod:`repro.genomics` — a Magic-BLAST equivalent workload with a calibrated
+  runtime model.
+* :mod:`repro.core` — the LIDC contribution: semantic naming, gateway,
+  multi-cluster overlay, placement, client, caching, prediction, baselines.
+* :mod:`repro.analysis` — experiment harness used by the benchmarks.
+
+Quickstart
+----------
+
+>>> from repro.core import LIDCTestbed, ComputeRequest
+>>> testbed = LIDCTestbed.single_cluster(seed=1)
+>>> client = testbed.client()
+>>> job = client.submit(ComputeRequest(app="BLAST", cpu=2, memory_gb=4,
+...                                     dataset="SRR2931415"))
+>>> result = client.wait(job)
+>>> result.state
+<JobState.COMPLETED: 'Completed'>
+"""
+
+from repro.version import __version__, __paper__
+
+__all__ = ["__version__", "__paper__"]

@@ -1,0 +1,43 @@
+"""Experiment harness and report formatting.
+
+The benchmarks in ``benchmarks/`` delegate the heavy lifting to this package:
+:mod:`repro.analysis.experiments` contains one runner per experiment id from
+DESIGN.md, and :mod:`repro.analysis.results` renders their outputs as the
+paper-style tables the bench harness prints.
+"""
+
+from repro.analysis.results import ResultTable, format_bytes, format_seconds
+from repro.analysis.experiments import (
+    Fig5Decomposition,
+    OverlayChurnResult,
+    PlacementComparison,
+    CachingAblation,
+    BaselineComparison,
+    run_table1,
+    run_fig2_name_placement,
+    run_fig3_service_mapping,
+    run_fig5_workflow,
+    run_overlay_churn,
+    run_placement_comparison,
+    run_caching_ablation,
+    run_baseline_comparison,
+)
+
+__all__ = [
+    "ResultTable",
+    "format_bytes",
+    "format_seconds",
+    "run_table1",
+    "run_fig2_name_placement",
+    "run_fig3_service_mapping",
+    "run_fig5_workflow",
+    "run_overlay_churn",
+    "run_placement_comparison",
+    "run_caching_ablation",
+    "run_baseline_comparison",
+    "Fig5Decomposition",
+    "OverlayChurnResult",
+    "PlacementComparison",
+    "CachingAblation",
+    "BaselineComparison",
+]

@@ -1,0 +1,135 @@
+"""The kubelet: runs pods that the scheduler binds to its node.
+
+The kubelet owns the pod lifecycle on a node: container startup delay, the
+Running phase for the duration produced by the container workloads, then
+Succeeded or Failed.  Long-running services use an infinite workload duration
+and simply stay Running until deleted or the node dies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.cluster.apiserver import ApiServer, EventType, WatchEvent
+from repro.cluster.node import Node, NodeStatus
+from repro.cluster.pod import Pod, PodPhase, WorkloadResult
+from repro.sim.engine import Environment
+
+__all__ = ["Kubelet"]
+
+
+class Kubelet:
+    """Node agent: watches for pods bound to its node and runs them."""
+
+    def __init__(self, env: Environment, api: ApiServer, node: Node) -> None:
+        self.env = env
+        self.api = api
+        self.node = node
+        self._running: dict[str, object] = {}  # pod uid -> process
+        self.pods_started = 0
+        self.pods_completed = 0
+        self.pods_failed = 0
+        api.watch(Pod.KIND, self._on_pod_event, replay_existing=True)
+
+    # -- watch handling --------------------------------------------------------
+
+    def _on_pod_event(self, event: WatchEvent) -> None:
+        pod: Pod = event.obj
+        if pod.node_name != self.node.name:
+            return
+        if event.type == EventType.DELETED:
+            self._stop(pod, reason="deleted")
+            return
+        if pod.phase == PodPhase.PENDING and pod.metadata.uid not in self._running:
+            process = self.env.process(self._run_pod(pod), name=f"kubelet:{pod.name}")
+            self._running[pod.metadata.uid] = process
+
+    # -- pod execution ----------------------------------------------------------
+
+    def _run_pod(self, pod: Pod):
+        if self.node.status == NodeStatus.NOT_READY:
+            self._fail(pod, "node not ready")
+            return
+        startup = max((c.startup_delay_s for c in pod.spec.containers), default=0.0)
+        yield self.env.timeout(startup)
+        if pod.is_terminal:
+            return
+        pod.phase = PodPhase.RUNNING
+        pod.start_time = self.env.now
+        self.pods_started += 1
+        self.api.record_event(Pod.KIND, pod.metadata, "Started", f"Running on {self.node.name}")
+        self.api.touch(Pod.KIND, pod)
+
+        results: list[WorkloadResult] = []
+        duration = 0.0
+        failed_message: Optional[str] = None
+        for container in pod.spec.containers:
+            try:
+                result = container.run_workload(pod)
+            except Exception as exc:  # noqa: BLE001 - workload errors fail the pod
+                failed_message = f"{container.name}: {exc}"
+                result = WorkloadResult(duration_s=0.0, error=str(exc))
+            results.append(result)
+            duration = max(duration, result.duration_s)
+            if result.error is not None:
+                failed_message = failed_message or f"{container.name}: {result.error}"
+        pod.results = results
+
+        if math.isinf(duration):
+            # Long-running service: stays Running until interrupted.
+            try:
+                yield self.env.event(name=f"forever:{pod.name}")
+            finally:
+                return
+        try:
+            yield self.env.timeout(duration)
+        except BaseException:
+            return
+        if pod.is_terminal:
+            return
+        pod.finish_time = self.env.now
+        if failed_message is not None:
+            pod.phase = PodPhase.FAILED
+            pod.message = failed_message
+            self.pods_failed += 1
+            self.api.record_event(Pod.KIND, pod.metadata, "Failed", failed_message)
+        else:
+            pod.phase = PodPhase.SUCCEEDED
+            self.pods_completed += 1
+            self.api.record_event(Pod.KIND, pod.metadata, "Completed", "All containers exited 0")
+        self._running.pop(pod.metadata.uid, None)
+        self.api.touch(Pod.KIND, pod)
+
+    def _stop(self, pod: Pod, reason: str) -> None:
+        process = self._running.pop(pod.metadata.uid, None)
+        if process is not None and getattr(process, "is_alive", False):
+            try:
+                process.interrupt(reason)
+            except Exception:  # pragma: no cover - interrupting a just-dead process
+                pass
+
+    def _fail(self, pod: Pod, message: str) -> None:
+        pod.phase = PodPhase.FAILED
+        pod.message = message
+        pod.finish_time = self.env.now
+        self.pods_failed += 1
+        self.api.record_event(Pod.KIND, pod.metadata, "Failed", message)
+        self.api.touch(Pod.KIND, pod)
+
+    # -- failure injection ----------------------------------------------------------
+
+    def node_failure(self) -> int:
+        """Simulate the node dying: every non-terminal pod on it fails.
+
+        Returns the number of pods affected.
+        """
+        self.node.mark_not_ready()
+        affected = 0
+        for pod in self.api.list(Pod.KIND):
+            if pod.node_name == self.node.name and not pod.is_terminal:
+                self._stop(pod, reason="node failure")
+                self._fail(pod, "node failure")
+                affected += 1
+        self.api.touch(Node.KIND, self.node)
+        return affected

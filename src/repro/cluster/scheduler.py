@@ -1,0 +1,171 @@
+"""The pod scheduler: predicates + priorities, like kube-scheduler.
+
+Filtering (predicates)
+    node is Ready, node selector matches, and the pod's total resource
+    requests fit in the node's free allocatable capacity.
+
+Scoring (priorities)
+    ``LEAST_ALLOCATED`` (default, spreads load), ``MOST_ALLOCATED``
+    (bin-packs), or ``BALANCED`` (minimises the CPU/memory utilisation skew).
+
+The scheduler is event-driven: every Pod or Node change triggers a scheduling
+pass over the pending queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.cluster.apiserver import ApiServer, WatchEvent
+from repro.cluster.node import Node
+from repro.cluster.pod import Pod, PodPhase
+from repro.cluster.quantity import Quantity
+
+__all__ = ["SchedulingPolicy", "Scheduler", "SchedulingDecision"]
+
+
+class SchedulingPolicy(str, Enum):
+    """Node scoring policy."""
+
+    LEAST_ALLOCATED = "least-allocated"
+    MOST_ALLOCATED = "most-allocated"
+    BALANCED = "balanced"
+
+
+@dataclass
+class SchedulingDecision:
+    """Record of one scheduling attempt (kept for observability and tests)."""
+
+    pod_name: str
+    node_name: Optional[str]
+    reason: str
+    time: float
+
+
+class Scheduler:
+    """Assigns pending pods to nodes."""
+
+    def __init__(
+        self,
+        api: ApiServer,
+        policy: "SchedulingPolicy | str" = SchedulingPolicy.LEAST_ALLOCATED,
+        clock=None,
+    ) -> None:
+        self.api = api
+        self.policy = SchedulingPolicy(policy)
+        self._clock = clock or (lambda: 0.0)
+        self.decisions: list[SchedulingDecision] = []
+        self.scheduled_count = 0
+        self.unschedulable_count = 0
+        api.watch(Pod.KIND, self._on_change, replay_existing=True)
+        api.watch(Node.KIND, self._on_change, replay_existing=False)
+
+    # -- watch handling -----------------------------------------------------------
+
+    def _on_change(self, event: WatchEvent) -> None:
+        self.reconcile()
+
+    # -- public API -----------------------------------------------------------------
+
+    def reconcile(self) -> int:
+        """Try to schedule every pending, unbound pod; returns how many were bound."""
+        pending = [
+            pod for pod in self.api.list(Pod.KIND)
+            if pod.phase == PodPhase.PENDING and not pod.is_scheduled
+        ]
+        # Highest priority first, then FIFO by creation time.
+        pending.sort(key=lambda pod: (-pod.spec.priority, pod.metadata.creation_time))
+        bound = 0
+        for pod in pending:
+            if self._schedule_one(pod):
+                bound += 1
+        return bound
+
+    def node_free_capacity(self, node: Node) -> Quantity:
+        """Allocatable capacity minus requests of non-terminal pods bound to the node."""
+        used = Quantity()
+        for pod in self.api.list(Pod.KIND):
+            if pod.node_name == node.name and not pod.is_terminal:
+                used = used + pod.total_requests()
+        free = node.allocatable - used
+        return Quantity(cpu=max(0.0, free.cpu), memory=max(0, free.memory))
+
+    def feasible_nodes(self, pod: Pod) -> list[Node]:
+        """Nodes passing every predicate for ``pod``."""
+        requests = pod.total_requests()
+        feasible = []
+        for node in self.api.list(Node.KIND):
+            if not node.is_schedulable:
+                continue
+            if pod.spec.node_selector and not node.matches_selector(pod.spec.node_selector):
+                continue
+            if not requests.fits_within(self.node_free_capacity(node)):
+                continue
+            feasible.append(node)
+        return feasible
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _schedule_one(self, pod: Pod) -> bool:
+        feasible = self.feasible_nodes(pod)
+        if not feasible:
+            self.unschedulable_count += 1
+            self.decisions.append(
+                SchedulingDecision(
+                    pod_name=pod.name, node_name=None,
+                    reason="Unschedulable: no node with sufficient resources",
+                    time=self._clock(),
+                )
+            )
+            self.api.record_event(
+                Pod.KIND, pod.metadata, "FailedScheduling",
+                f"0/{self.api.count(Node.KIND)} nodes available for {pod.total_requests()}",
+            )
+            return False
+        best = self._pick(pod, feasible)
+        pod.node_name = best.name
+        self.scheduled_count += 1
+        self.decisions.append(
+            SchedulingDecision(
+                pod_name=pod.name, node_name=best.name,
+                reason=f"Scheduled by {self.policy.value}", time=self._clock(),
+            )
+        )
+        self.api.record_event(Pod.KIND, pod.metadata, "Scheduled", f"Bound to {best.name}")
+        self.api.touch(Pod.KIND, pod)
+        return True
+
+    def _pick(self, pod: Pod, feasible: list[Node]) -> Node:
+        requests = pod.total_requests()
+        scored = [(self._score(node, requests), node.name, node) for node in feasible]
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return scored[0][2]
+
+    def _score(self, node: Node, requests: Quantity) -> float:
+        allocatable = node.allocatable
+        free = self.node_free_capacity(node)
+        free_after = free - requests
+        cpu_util = 1.0 - (free_after.cpu / allocatable.cpu if allocatable.cpu else 0.0)
+        mem_util = 1.0 - (free_after.memory / allocatable.memory if allocatable.memory else 0.0)
+        if self.policy == SchedulingPolicy.LEAST_ALLOCATED:
+            return 1.0 - (cpu_util + mem_util) / 2.0
+        if self.policy == SchedulingPolicy.MOST_ALLOCATED:
+            return (cpu_util + mem_util) / 2.0
+        # BALANCED: prefer nodes where CPU and memory utilisation stay close.
+        return 1.0 - abs(cpu_util - mem_util)
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def utilization(self) -> dict[str, dict[str, float]]:
+        """Per-node CPU/memory utilisation fractions."""
+        report: dict[str, dict[str, float]] = {}
+        for node in self.api.list(Node.KIND):
+            allocatable = node.allocatable
+            free = self.node_free_capacity(node)
+            report[node.name] = {
+                "cpu": 1.0 - (free.cpu / allocatable.cpu if allocatable.cpu else 0.0),
+                "memory": 1.0 - (free.memory / allocatable.memory if allocatable.memory else 0.0),
+            }
+        return report

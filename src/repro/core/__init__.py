@@ -1,0 +1,99 @@
+"""LIDC core: the paper's contribution.
+
+Everything that is LIDC-specific lives here: the semantic naming scheme, the
+gateway, per-cluster deployment, the multi-cluster overlay, the client
+library, placement strategies, result caching, completion-time prediction and
+the centralized baseline.
+
+Most users only need three names::
+
+    from repro.core import LIDCTestbed, ComputeRequest
+
+    testbed = LIDCTestbed.single_cluster(seed=1)
+    outcome = testbed.submit_and_wait(
+        ComputeRequest(app="BLAST", cpu=2, memory_gb=4,
+                       dataset="SRR2931415", reference="HUMAN"))
+"""
+
+from repro.core import naming
+from repro.core.applications import (
+    ApplicationRegistry,
+    BlastApplication,
+    CompressApplication,
+    SleepApplication,
+)
+from repro.core.baseline import CentralizedController, ControllerUnavailable
+from repro.core.caching import CachedResult, ResultCache
+from repro.core.client import JobOutcome, LIDCClient, SubmissionResult
+from repro.core.cluster_endpoint import LIDCCluster
+from repro.core.framework import LIDCTestbed, TestbedConfig
+from repro.core.gateway import Gateway
+from repro.core.http_naming import (
+    HttpGatewayFacade,
+    HttpRequest,
+    HttpResponse,
+    request_to_url,
+    url_to_request,
+)
+from repro.core.jobs import JobTracker
+from repro.core.overlay import ComputeOverlay
+from repro.core.placement import (
+    LearnedPlacement,
+    LeastLoadedPlacement,
+    NearestPlacement,
+    PlacementDecision,
+    RandomPlacement,
+    RoundRobinPlacement,
+)
+from repro.core.predictor import CompletionTimePredictor
+from repro.core.spec import ComputeRequest, JobRecord, JobState
+from repro.core.validation import (
+    BlastValidator,
+    CompressionValidator,
+    DefaultValidator,
+    ValidatorRegistry,
+)
+from repro.core.workflow import CampaignResult, GenomicsWorkflow, WorkflowReport
+
+__all__ = [
+    "naming",
+    "ComputeRequest",
+    "JobState",
+    "JobRecord",
+    "JobTracker",
+    "Gateway",
+    "LIDCCluster",
+    "ComputeOverlay",
+    "LIDCClient",
+    "SubmissionResult",
+    "JobOutcome",
+    "LIDCTestbed",
+    "TestbedConfig",
+    "GenomicsWorkflow",
+    "WorkflowReport",
+    "CampaignResult",
+    "ApplicationRegistry",
+    "BlastApplication",
+    "CompressApplication",
+    "SleepApplication",
+    "ValidatorRegistry",
+    "BlastValidator",
+    "CompressionValidator",
+    "DefaultValidator",
+    "ResultCache",
+    "CachedResult",
+    "CompletionTimePredictor",
+    "PlacementDecision",
+    "RandomPlacement",
+    "RoundRobinPlacement",
+    "NearestPlacement",
+    "LeastLoadedPlacement",
+    "LearnedPlacement",
+    "CentralizedController",
+    "ControllerUnavailable",
+    "HttpGatewayFacade",
+    "HttpRequest",
+    "HttpResponse",
+    "request_to_url",
+    "url_to_request",
+]

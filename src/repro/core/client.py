@@ -1,0 +1,255 @@
+"""The LIDC client library.
+
+The client is what a workflow runs on its own machine: it expresses compute
+Interests, receives the acknowledgement with the job id, polls
+``/ndn/k8s/status/<job-id>``, and finally retrieves the result from the data
+lake by name (paper Fig. 5).  The client never learns which cluster executed
+the job unless it inspects the acknowledgement — that is the point.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core import naming
+from repro.core.spec import ComputeRequest, JobState
+from repro.exceptions import InterestNacked, InterestTimeout, LIDCError
+from repro.ndn.client import Consumer
+from repro.ndn.forwarder import Forwarder
+from repro.ndn.name import Name
+from repro.sim.engine import Environment
+
+__all__ = ["SubmissionResult", "JobOutcome", "LIDCClient"]
+
+#: Default interval between status polls, in simulated seconds.
+DEFAULT_POLL_INTERVAL_S = 30.0
+#: Default Interest lifetime for LIDC control-plane exchanges.
+DEFAULT_LIFETIME_S = 10.0
+
+
+@dataclass
+class SubmissionResult:
+    """Outcome of the initial compute Interest."""
+
+    accepted: bool
+    job_id: Optional[str] = None
+    status_name: Optional[Name] = None
+    cluster: Optional[str] = None
+    cached: bool = False
+    result_name: Optional[Name] = None
+    error: Optional[str] = None
+    submitted_at: float = 0.0
+    acknowledged_at: float = 0.0
+
+    @property
+    def ack_latency(self) -> float:
+        return self.acknowledged_at - self.submitted_at
+
+
+@dataclass
+class JobOutcome:
+    """Outcome of a full submit → wait → retrieve workflow."""
+
+    request: ComputeRequest
+    submission: SubmissionResult
+    state: JobState = JobState.FAILED
+    result_name: Optional[Name] = None
+    result_size_bytes: Optional[int] = None
+    result_payload: Optional[bytes] = None
+    runtime_s: Optional[float] = None
+    error: Optional[str] = None
+    from_cache: bool = False
+    status_polls: int = 0
+    #: Named timestamps of the protocol steps (used by the Fig. 5 benchmark).
+    timeline: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.state == JobState.COMPLETED
+
+    @property
+    def turnaround_s(self) -> Optional[float]:
+        if "completed" not in self.timeline or "submitted" not in self.timeline:
+            return None
+        return self.timeline["completed"] - self.timeline["submitted"]
+
+    @property
+    def end_to_end_s(self) -> Optional[float]:
+        if "finished" not in self.timeline or "submitted" not in self.timeline:
+            return None
+        return self.timeline["finished"] - self.timeline["submitted"]
+
+
+class LIDCClient:
+    """Client-side API: submit computations, poll status, retrieve results."""
+
+    _instance_counter = itertools.count(1)
+
+    def __init__(
+        self,
+        env: Environment,
+        forwarder: Forwarder,
+        name: Optional[str] = None,
+        poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
+        lifetime_s: float = DEFAULT_LIFETIME_S,
+        retries: int = 2,
+    ) -> None:
+        self.env = env
+        self.name = name or f"lidc-client-{next(self._instance_counter)}"
+        self.poll_interval_s = poll_interval_s
+        self.lifetime_s = lifetime_s
+        self.retries = retries
+        self.consumer = Consumer(env, forwarder, name=self.name)
+        self._request_counter = itertools.count(1)
+        self.submissions = 0
+
+    # ------------------------------------------------------------------ submission
+
+    def _request_name(self, request: ComputeRequest, unique: bool) -> Name:
+        if not unique:
+            return request.to_name()
+        params = request.to_params()
+        params["req"] = f"{self.name}-{next(self._request_counter)}"
+        return naming.compute_name(params)
+
+    def submit(self, request: ComputeRequest, unique: bool = True):
+        """Process generator: submit one request and return a :class:`SubmissionResult`.
+
+        ``unique=False`` reuses the canonical request name, which lets the
+        network's content store and the gateway's result cache answer repeated
+        identical requests (the paper's caching future-work).
+        """
+        name = self._request_name(request, unique)
+        submitted_at = self.env.now
+        self.submissions += 1
+        try:
+            data = yield self.consumer.express_interest(
+                name, lifetime=self.lifetime_s, retries=self.retries, must_be_fresh=True
+            )
+        except (InterestTimeout, InterestNacked) as exc:
+            return SubmissionResult(
+                accepted=False, error=str(exc),
+                submitted_at=submitted_at, acknowledged_at=self.env.now,
+            )
+        payload = json.loads(data.content_text())
+        if not payload.get("accepted", False):
+            return SubmissionResult(
+                accepted=False, error=payload.get("error", "rejected"),
+                submitted_at=submitted_at, acknowledged_at=self.env.now,
+            )
+        return SubmissionResult(
+            accepted=True,
+            job_id=payload["job_id"],
+            status_name=Name(payload["status_name"]),
+            cluster=payload.get("cluster"),
+            cached=bool(payload.get("cached", False)),
+            result_name=Name(payload["result_name"]) if payload.get("result_name") else None,
+            submitted_at=submitted_at,
+            acknowledged_at=self.env.now,
+        )
+
+    # ------------------------------------------------------------------ status
+
+    def poll_status(self, job_id: str):
+        """Process generator: one status poll; returns the status payload dict."""
+        name = naming.status_name(job_id)
+        data = yield self.consumer.express_interest(
+            name, lifetime=self.lifetime_s, must_be_fresh=True, retries=self.retries
+        )
+        return json.loads(data.content_text())
+
+    def wait_for_completion(self, job_id: str, poll_interval_s: Optional[float] = None,
+                            max_polls: int = 100_000):
+        """Process generator: poll until the job is terminal; returns the final payload."""
+        interval = poll_interval_s if poll_interval_s is not None else self.poll_interval_s
+        polls = 0
+        while True:
+            payload = yield from self.poll_status(job_id)
+            polls += 1
+            state = JobState(payload.get("state", JobState.FAILED.value))
+            if state.is_terminal():
+                payload["_polls"] = polls
+                return payload
+            if polls >= max_polls:
+                raise LIDCError(f"job {job_id} still not terminal after {polls} polls")
+            yield self.env.timeout(interval)
+
+    # ------------------------------------------------------------------ results
+
+    def retrieve_result(self, result_name: "Name | str", fetch_payload: bool = True):
+        """Process generator: fetch a result's manifest (and payload when materialised).
+
+        Returns ``(manifest_dict, payload_bytes_or_None)``.
+        """
+        result_name = Name(result_name)
+        manifest_data = yield self.consumer.express_interest(
+            result_name, lifetime=self.lifetime_s, retries=self.retries
+        )
+        manifest = json.loads(manifest_data.content_text())
+        payload: Optional[bytes] = None
+        if fetch_payload and manifest.get("has_payload"):
+            payload = yield from self.consumer.fetch_segments(
+                result_name, lifetime=self.lifetime_s, retries=self.retries
+            )
+        return manifest, payload
+
+    def retrieve_dataset(self, dataset_id: str, fetch_payload: bool = True):
+        """Process generator: retrieve a dataset from the data lake by id."""
+        return (yield from self.retrieve_result(naming.data_name(dataset_id), fetch_payload))
+
+    # ------------------------------------------------------------------ end-to-end workflow
+
+    def run_workflow(
+        self,
+        request: ComputeRequest,
+        poll_interval_s: Optional[float] = None,
+        fetch_result: bool = True,
+        unique: bool = True,
+    ):
+        """Process generator implementing the full Fig. 5 protocol.
+
+        Returns a :class:`JobOutcome` with a per-step timeline.
+        """
+        outcome_timeline: dict[str, float] = {"submitted": self.env.now}
+        submission = yield from self.submit(request, unique=unique)
+        outcome_timeline["acknowledged"] = self.env.now
+        outcome = JobOutcome(request=request, submission=submission, timeline=outcome_timeline)
+        if not submission.accepted:
+            outcome.state = JobState.FAILED
+            outcome.error = submission.error
+            outcome_timeline["finished"] = self.env.now
+            return outcome
+
+        if submission.cached and submission.result_name is not None:
+            # Cache hit: the result already exists, skip straight to retrieval.
+            outcome.state = JobState.COMPLETED
+            outcome.from_cache = True
+            outcome.result_name = submission.result_name
+            outcome_timeline["completed"] = self.env.now
+        else:
+            final = yield from self.wait_for_completion(
+                submission.job_id or "", poll_interval_s=poll_interval_s
+            )
+            outcome.status_polls = int(final.get("_polls", 0))
+            outcome_timeline["completed"] = self.env.now
+            outcome.state = JobState(final.get("state", JobState.FAILED.value))
+            outcome.from_cache = bool(final.get("from_cache", False))
+            outcome.runtime_s = final.get("runtime_s")
+            if outcome.state == JobState.FAILED:
+                outcome.error = final.get("error", "job failed")
+                outcome_timeline["finished"] = self.env.now
+                return outcome
+            if final.get("result_name"):
+                outcome.result_name = Name(final["result_name"])
+            outcome.result_size_bytes = final.get("result_size_bytes")
+
+        if fetch_result and outcome.result_name is not None:
+            manifest, payload = yield from self.retrieve_result(outcome.result_name)
+            outcome.result_size_bytes = manifest.get("size_bytes", outcome.result_size_bytes)
+            outcome.result_payload = payload
+            outcome_timeline["result_retrieved"] = self.env.now
+        outcome_timeline["finished"] = self.env.now
+        return outcome

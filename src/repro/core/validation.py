@@ -1,0 +1,144 @@
+"""Application-specific validation (paper §IV-B).
+
+"LIDC allows for application-specific validations.  These validations are
+built into the system in a modular manner and can be managed separately for
+each application."
+
+Each application registers a validator; the gateway runs the matching
+validator before admitting a request.  The two applications the paper uses as
+examples are implemented: Magic-BLAST (checks the SRR id) and a file
+compression tool (needs a dataset but no SRR semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol
+
+from repro.core.spec import ComputeRequest
+from repro.datalake.repo import DataLake
+from repro.exceptions import ValidationFailure
+from repro.genomics.sra import SraRegistry, is_valid_srr_id
+
+__all__ = [
+    "ValidationResult",
+    "Validator",
+    "BlastValidator",
+    "CompressionValidator",
+    "DefaultValidator",
+    "ValidatorRegistry",
+]
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of validating one request."""
+
+    ok: bool
+    message: str = "ok"
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise ValidationFailure(self.message)
+
+
+class Validator(Protocol):
+    """A per-application validator."""
+
+    def validate(self, request: ComputeRequest, datalake: Optional[DataLake] = None) -> ValidationResult:
+        ...  # pragma: no cover - protocol
+
+
+class BlastValidator:
+    """Validator for the Magic-BLAST application.
+
+    Checks that the request carries a syntactically valid SRR id, that the
+    sample is known (registry and/or data lake) and that a reference database
+    is named.
+    """
+
+    def __init__(self, registry: Optional[SraRegistry] = None, require_in_lake: bool = False) -> None:
+        self.registry = registry or SraRegistry()
+        self.require_in_lake = require_in_lake
+
+    def validate(self, request: ComputeRequest, datalake: Optional[DataLake] = None) -> ValidationResult:
+        if not request.dataset:
+            return ValidationResult(False, "BLAST requests must name an SRR id (srr=...)")
+        if not is_valid_srr_id(request.dataset):
+            return ValidationResult(False, f"malformed SRR id {request.dataset!r}")
+        if request.dataset not in self.registry and (
+            datalake is None or not datalake.has_dataset(request.dataset)
+        ):
+            return ValidationResult(False, f"unknown SRR id {request.dataset!r}")
+        if self.require_in_lake:
+            if datalake is None or not datalake.has_dataset(request.dataset):
+                return ValidationResult(
+                    False, f"SRR id {request.dataset!r} is not loaded in the data lake"
+                )
+        if not request.reference:
+            return ValidationResult(False, "BLAST requests must name a reference database (ref=...)")
+        return ValidationResult(True)
+
+
+class CompressionValidator:
+    """Validator for a generic file-compression application.
+
+    Needs a dataset present in the data lake; has no SRR-id semantics, which is
+    exactly the contrast the paper draws.
+    """
+
+    def validate(self, request: ComputeRequest, datalake: Optional[DataLake] = None) -> ValidationResult:
+        if not request.dataset:
+            return ValidationResult(False, "compression requests must name a dataset (srr=... or dataset=...)")
+        if datalake is not None and not datalake.has_dataset(request.dataset):
+            return ValidationResult(False, f"dataset {request.dataset!r} is not in the data lake")
+        level = request.params.get("level")
+        if level is not None:
+            try:
+                level_value = int(level)
+            except ValueError:
+                return ValidationResult(False, f"compression level {level!r} is not an integer")
+            if not 1 <= level_value <= 9:
+                return ValidationResult(False, f"compression level {level_value} outside [1, 9]")
+        return ValidationResult(True)
+
+
+class DefaultValidator:
+    """Fallback validator: accepts anything with positive resources."""
+
+    def validate(self, request: ComputeRequest, datalake: Optional[DataLake] = None) -> ValidationResult:
+        return ValidationResult(True)
+
+
+class ValidatorRegistry:
+    """Per-application validator lookup used by the gateway."""
+
+    def __init__(self, default: Optional[Validator] = None) -> None:
+        self._validators: dict[str, Validator] = {}
+        self._default: Validator = default or DefaultValidator()
+
+    def register(self, app: str, validator: Validator) -> None:
+        """Install (or replace) the validator for an application."""
+        self._validators[app.upper()] = validator
+
+    def unregister(self, app: str) -> None:
+        self._validators.pop(app.upper(), None)
+
+    def validator_for(self, app: str) -> Validator:
+        return self._validators.get(app.upper(), self._default)
+
+    def has_validator(self, app: str) -> bool:
+        return app.upper() in self._validators
+
+    def validate(self, request: ComputeRequest, datalake: Optional[DataLake] = None) -> ValidationResult:
+        """Run the registered validator for the request's application."""
+        return self.validator_for(request.app).validate(request, datalake)
+
+    @classmethod
+    def with_defaults(cls, registry: Optional[SraRegistry] = None) -> "ValidatorRegistry":
+        """The registry LIDC ships with: BLAST and COMPRESS validators."""
+        validators = cls()
+        validators.register("BLAST", BlastValidator(registry=registry))
+        validators.register("MAGICBLAST", BlastValidator(registry=registry))
+        validators.register("COMPRESS", CompressionValidator())
+        return validators

@@ -1,0 +1,29 @@
+"""The named data lake.
+
+LIDC pairs every compute cluster with a data lake reachable under the
+``/ndn/k8s/data`` namespace (paper §III-C, §IV): raw datasets are retrieved
+from it by name, and intermediate/final results are published back to it.
+
+* :mod:`repro.datalake.catalog` — dataset records and the catalogue;
+* :mod:`repro.datalake.repo` — the :class:`DataLake` itself (PVC-backed
+  storage plus the catalogue plus name construction);
+* :mod:`repro.datalake.fileserver` — the NDN producer that serves the lake's
+  contents (manifests and segmented payloads) on a forwarder;
+* :mod:`repro.datalake.loader` — the data-loading tool of paper §V-B that
+  sets up the human reference database and the rice/kidney SRA samples.
+"""
+
+from repro.datalake.catalog import DataCatalog, DatasetKind, DatasetRecord
+from repro.datalake.repo import DataLake
+from repro.datalake.fileserver import FileServer
+from repro.datalake.loader import DataLoadingTool, LoadReport
+
+__all__ = [
+    "DatasetRecord",
+    "DatasetKind",
+    "DataCatalog",
+    "DataLake",
+    "FileServer",
+    "DataLoadingTool",
+    "LoadReport",
+]

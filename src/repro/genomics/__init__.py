@@ -1,0 +1,52 @@
+"""Genomics workload: the reproduction's Magic-BLAST equivalent.
+
+The paper's evaluation BLASTs two Sequence Read Archive samples (a rice RNA
+sample and a human kidney tumour RNA sample) against a human reference
+database on different CPU/memory allocations (Table I).  We cannot ship NCBI
+Magic-BLAST or the multi-gigabyte datasets, so this package provides:
+
+* :mod:`repro.genomics.sequences` — synthetic DNA/RNA sequences, FASTA/FASTQ
+  records and read simulation;
+* :mod:`repro.genomics.sra` — an SRA accession registry with the paper's
+  SRR2931415 and SRR5139395 samples plus SRR-id validation;
+* :mod:`repro.genomics.reference` — reference databases with a k-mer index;
+* :mod:`repro.genomics.blast` — a real (small-scale) seed-and-extend aligner
+  that exercises the genuine compute path on synthetic data;
+* :mod:`repro.genomics.runtime_model` — a runtime / output-size model
+  calibrated against Table I, used when simulating paper-scale runs.
+"""
+
+from repro.genomics.sequences import (
+    FastaRecord,
+    FastqRecord,
+    SequenceGenerator,
+    reverse_complement,
+)
+from repro.genomics.sra import SraAccession, SraRegistry, is_valid_srr_id
+from repro.genomics.reference import KmerIndex, ReferenceDatabase
+from repro.genomics.blast import Alignment, BlastResult, MagicBlast
+from repro.genomics.runtime_model import (
+    BlastRuntimeModel,
+    RunEstimate,
+    TABLE1_ROWS,
+    Table1Row,
+)
+
+__all__ = [
+    "FastaRecord",
+    "FastqRecord",
+    "SequenceGenerator",
+    "reverse_complement",
+    "SraAccession",
+    "SraRegistry",
+    "is_valid_srr_id",
+    "ReferenceDatabase",
+    "KmerIndex",
+    "MagicBlast",
+    "Alignment",
+    "BlastResult",
+    "BlastRuntimeModel",
+    "RunEstimate",
+    "Table1Row",
+    "TABLE1_ROWS",
+]

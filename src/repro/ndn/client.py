@@ -1,0 +1,300 @@
+"""Consumer and producer helpers.
+
+:class:`Consumer` is the client-side endpoint used by workflows and by the
+LIDC client library: it expresses Interests into a forwarder and completes an
+event with the returned Data (or fails it with a timeout / NACK error).
+
+:class:`Producer` is the application-side helper used by the data lake, the
+file server and the LIDC gateway: it serves a namespace either from a static
+content store or from a request handler, signing everything it emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.exceptions import InterestNacked, InterestTimeout, NDNError
+from repro.ndn.face import Face, LocalFace, Packet, connect
+from repro.ndn.forwarder import Forwarder
+from repro.ndn.name import Name
+from repro.ndn.packet import Data, Interest, Nack, NackReason
+from repro.ndn.security import DigestSigner, HmacSigner
+from repro.ndn.segmentation import reassemble, segment_content
+from repro.sim.engine import Environment, Event
+
+__all__ = ["Consumer", "Producer", "PendingInterest"]
+
+
+@dataclass
+class PendingInterest:
+    """Book-keeping for one in-flight Interest expressed by a consumer."""
+
+    interest: Interest
+    completion: Event
+    sent_at: float
+    retries_left: int = 0
+    attempts: int = 1
+    satisfied: bool = field(default=False)
+
+
+class Consumer:
+    """An application endpoint that expresses Interests through a forwarder."""
+
+    def __init__(
+        self,
+        env: Environment,
+        forwarder: Forwarder,
+        name: str = "consumer",
+        link=None,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.forwarder = forwarder
+        self._pending: dict[Name, list[PendingInterest]] = {}
+        self._faces: list[Face] = []
+        # Connect to the forwarder over a local (or provided) link.
+        if link is None:
+            self.face, self._fwd_face = connect(
+                env, self, forwarder, label=f"{name}<->{forwarder.name}", face_cls=LocalFace
+            )
+        else:
+            self.face, self._fwd_face = connect(
+                env, self, forwarder, link=link, label=f"{name}<->{forwarder.name}"
+            )
+        self.interests_sent = 0
+        self.data_received = 0
+        self.nacks_received = 0
+        self.timeouts = 0
+
+    # -- endpoint protocol ------------------------------------------------------
+
+    def add_face(self, face: Face) -> int:
+        self._faces.append(face)
+        return len(self._faces)
+
+    def receive_packet(self, packet: Packet, face: Face) -> None:
+        if isinstance(packet, Data):
+            self._on_data(packet)
+        elif isinstance(packet, Nack):
+            self._on_nack(packet)
+        # Consumers ignore incoming Interests.
+
+    # -- expressing interests ------------------------------------------------------
+
+    def express_interest(
+        self,
+        name: "Name | str | Interest",
+        lifetime: Optional[float] = None,
+        can_be_prefix: bool = False,
+        must_be_fresh: bool = False,
+        retries: int = 0,
+        application_parameters: bytes = b"",
+    ) -> Event:
+        """Send an Interest; returns an event completing with the Data.
+
+        The event fails with :class:`InterestTimeout` if no Data arrives
+        within the Interest lifetime (after ``retries`` retransmissions) or
+        with :class:`InterestNacked` if the network rejects it.
+        """
+        if isinstance(name, Interest):
+            interest = name
+        else:
+            interest = Interest(
+                name=Name(name),
+                can_be_prefix=can_be_prefix,
+                must_be_fresh=must_be_fresh,
+                lifetime=lifetime if lifetime is not None else 4.0,
+                application_parameters=application_parameters,
+            )
+        completion = self.env.event(name=f"fetch:{interest.name}")
+        pending = PendingInterest(
+            interest=interest,
+            completion=completion,
+            sent_at=self.env.now,
+            retries_left=retries,
+        )
+        self._pending.setdefault(interest.name, []).append(pending)
+        self._send(pending)
+        self.env.process(self._watchdog(pending), name=f"watchdog:{interest.name}")
+        return completion
+
+    def _send(self, pending: PendingInterest) -> None:
+        self.interests_sent += 1
+        self.face.send(pending.interest)
+
+    def _watchdog(self, pending: PendingInterest):
+        while True:
+            yield self.env.timeout(pending.interest.lifetime)
+            if pending.satisfied or pending.completion.triggered:
+                return
+            if pending.retries_left > 0:
+                pending.retries_left -= 1
+                pending.attempts += 1
+                # Re-express with a fresh nonce so it is not treated as a loop.
+                pending.interest = Interest(
+                    name=pending.interest.name,
+                    can_be_prefix=pending.interest.can_be_prefix,
+                    must_be_fresh=pending.interest.must_be_fresh,
+                    lifetime=pending.interest.lifetime,
+                    application_parameters=pending.interest.application_parameters,
+                )
+                self._send(pending)
+                continue
+            self.timeouts += 1
+            self._forget(pending)
+            pending.completion.fail(
+                InterestTimeout(pending.interest.name, pending.interest.lifetime)
+            )
+            return
+
+    def _forget(self, pending: PendingInterest) -> None:
+        bucket = self._pending.get(pending.interest.name, [])
+        if pending in bucket:
+            bucket.remove(pending)
+        if not bucket:
+            self._pending.pop(pending.interest.name, None)
+
+    def _on_data(self, data: Data) -> None:
+        self.data_received += 1
+        matches: list[PendingInterest] = []
+        for name, bucket in list(self._pending.items()):
+            for pending in list(bucket):
+                if pending.interest.matches_data(data):
+                    matches.append(pending)
+        for pending in matches:
+            pending.satisfied = True
+            self._forget(pending)
+            if not pending.completion.triggered:
+                pending.completion.succeed(data)
+
+    def _on_nack(self, nack: Nack) -> None:
+        self.nacks_received += 1
+        bucket = list(self._pending.get(nack.name, []))
+        for pending in bucket:
+            pending.satisfied = True
+            self._forget(pending)
+            if not pending.completion.triggered:
+                pending.completion.fail(
+                    InterestNacked(nack.name, NackReason.label(nack.reason))
+                )
+
+    # -- higher-level fetch helpers -----------------------------------------------
+
+    def fetch(self, name: "Name | str", **kwargs):
+        """Process generator: fetch a single Data packet and return it.
+
+        Usage inside a process::
+
+            data = yield from consumer.fetch("/ndn/k8s/data/foo")
+        """
+        data = yield self.express_interest(name, **kwargs)
+        return data
+
+    def fetch_segments(self, base_name: "Name | str", lifetime: float = 4.0, retries: int = 1):
+        """Process generator: fetch a segmented object and return its bytes.
+
+        Fetches ``<base>/seg=0`` first, reads the final block id, then fetches
+        the remaining segments sequentially.
+        """
+        base = Name(base_name)
+        first = yield self.express_interest(
+            base.append("seg=0"), lifetime=lifetime, retries=retries
+        )
+        segments = [first]
+        if first.final_block_id is None:
+            return first.content
+        last_label = first.final_block_id.to_str()
+        if not last_label.startswith("seg="):
+            raise NDNError(f"unexpected final block id {last_label!r}")
+        last_index = int(last_label[len("seg="):])
+        for index in range(1, last_index + 1):
+            segment = yield self.express_interest(
+                base.append(f"seg={index}"), lifetime=lifetime, retries=retries
+            )
+            segments.append(segment)
+        return reassemble(segments)
+
+
+class Producer:
+    """An application endpoint serving a namespace on a forwarder."""
+
+    def __init__(
+        self,
+        env: Environment,
+        forwarder: Forwarder,
+        prefix: "Name | str",
+        handler: Optional[Callable[[Interest], "Data | Nack | None"]] = None,
+        signer: "DigestSigner | HmacSigner | None" = None,
+        name: str = "producer",
+        freshness_period: float = 0.0,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.prefix = Name(prefix)
+        self.forwarder = forwarder
+        self.signer = signer or DigestSigner()
+        self.freshness_period = freshness_period
+        self._store: dict[Name, Data] = {}
+        self._handler = handler
+        self.interests_served = 0
+        self.face = forwarder.attach_producer(self.prefix, self._dispatch)
+
+    # -- publishing -------------------------------------------------------------
+
+    def publish(self, name: "Name | str", content: "bytes | str", segment_size: int = 0,
+                freshness_period: Optional[float] = None) -> list[Data]:
+        """Add content to the producer's static store (optionally segmented)."""
+        name = Name(name)
+        if not self.prefix.is_prefix_of(name):
+            raise NDNError(f"{name} is outside the producer prefix {self.prefix}")
+        if isinstance(content, str):
+            content = content.encode("utf-8")
+        freshness = self.freshness_period if freshness_period is None else freshness_period
+        if segment_size and len(content) > segment_size:
+            packets = segment_content(
+                name, content, segment_size=segment_size, signer=self.signer,
+                freshness_period=freshness,
+            )
+        else:
+            packets = [
+                Data(name=name, content=content, freshness_period=freshness).sign(self.signer)
+            ]
+        for packet in packets:
+            self._store[packet.name] = packet
+        return packets
+
+    def unpublish(self, name: "Name | str") -> int:
+        """Remove content under ``name`` (prefix match); returns packets removed."""
+        name = Name(name)
+        victims = [stored for stored in self._store if name.is_prefix_of(stored)]
+        for victim in victims:
+            del self._store[victim]
+        return len(victims)
+
+    def stored_names(self) -> list[Name]:
+        return sorted(self._store.keys())
+
+    # -- serving -----------------------------------------------------------------
+
+    def _dispatch(self, interest: Interest) -> "Data | Nack | None":
+        self.interests_served += 1
+        # Static store first (exact, then prefix match for discovery).
+        data = self._store.get(interest.name)
+        if data is None and interest.can_be_prefix:
+            candidates = [d for n, d in self._store.items() if interest.name.is_prefix_of(n)]
+            if candidates:
+                data = min(candidates, key=lambda d: d.name)
+        if data is not None:
+            return data
+        if self._handler is not None:
+            return self._handler(interest)
+        return Nack(interest=interest, reason=NackReason.NO_ROUTE)
+
+    def make_data(self, name: "Name | str", content: "bytes | str",
+                  freshness_period: Optional[float] = None) -> Data:
+        """Build and sign a Data packet in this producer's namespace."""
+        freshness = self.freshness_period if freshness_period is None else freshness_period
+        if isinstance(content, str):
+            content = content.encode("utf-8")
+        return Data(name=Name(name), content=content, freshness_period=freshness).sign(self.signer)

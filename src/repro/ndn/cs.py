@@ -1,0 +1,179 @@
+"""Content Store: the forwarder's in-network cache.
+
+The Content Store satisfies Interests from previously-seen Data, which is the
+mechanism behind the paper's future-work item on result caching: identical
+computation results published under the same name are answered from the cache
+without re-execution.
+
+Eviction policies: LRU (default), LFU and FIFO.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional
+
+from repro.exceptions import NDNError
+from repro.ndn.name import Name
+from repro.ndn.packet import Data, Interest
+
+__all__ = ["CachePolicy", "ContentStore", "CsEntry"]
+
+
+class CachePolicy(str, Enum):
+    """Content-store eviction policy."""
+
+    LRU = "lru"
+    LFU = "lfu"
+    FIFO = "fifo"
+
+
+@dataclass
+class CsEntry:
+    """One cached Data packet plus bookkeeping."""
+
+    data: Data
+    arrival_time: float
+    last_access: float
+    hits: int = 0
+
+    @property
+    def name(self) -> Name:
+        return self.data.name
+
+    def is_fresh(self, now: float) -> bool:
+        """Freshness per the Data's freshness period (0 = always stale)."""
+        if self.data.freshness_period <= 0:
+            return False
+        return (now - self.arrival_time) <= self.data.freshness_period
+
+
+class ContentStore:
+    """A fixed-capacity cache of Data packets keyed by exact name."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        policy: "CachePolicy | str" = CachePolicy.LRU,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity < 0:
+            raise NDNError(f"content store capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self.policy = CachePolicy(policy)
+        self._clock = clock or (lambda: 0.0)
+        self._entries: "OrderedDict[Name, CsEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: "Name | str") -> bool:
+        return Name(name) in self._entries
+
+    # -- insertion -----------------------------------------------------------
+
+    def insert(self, data: Data) -> None:
+        """Cache ``data`` (no-op when capacity is zero)."""
+        if self.capacity == 0:
+            return
+        now = self._clock()
+        name = data.name
+        if name in self._entries:
+            # Refresh the existing entry.
+            entry = self._entries.pop(name)
+            entry.data = data
+            entry.arrival_time = now
+            entry.last_access = now
+            self._entries[name] = entry
+            return
+        while len(self._entries) >= self.capacity:
+            self._evict_one()
+        self._entries[name] = CsEntry(data=data, arrival_time=now, last_access=now)
+        self.insertions += 1
+
+    def _evict_one(self) -> None:
+        if not self._entries:
+            return
+        if self.policy == CachePolicy.FIFO:
+            victim = next(iter(self._entries))
+        elif self.policy == CachePolicy.LRU:
+            victim = min(self._entries, key=lambda n: self._entries[n].last_access)
+        else:  # LFU
+            victim = min(
+                self._entries, key=lambda n: (self._entries[n].hits, self._entries[n].last_access)
+            )
+        del self._entries[victim]
+        self.evictions += 1
+
+    # -- lookup ----------------------------------------------------------------
+
+    def find(self, interest: Interest) -> Optional[Data]:
+        """Return cached Data satisfying ``interest``, or ``None``.
+
+        Exact-name lookups are O(1); prefix lookups scan the store and return
+        the entry with the smallest name (deterministic choice).
+        """
+        now = self._clock()
+        if not interest.can_be_prefix:
+            entry = self._entries.get(interest.name)
+            if entry is not None and self._acceptable(entry, interest, now):
+                return self._hit(entry, now)
+            self.misses += 1
+            return None
+        candidates = [
+            entry
+            for name, entry in self._entries.items()
+            if interest.name.is_prefix_of(name) and self._acceptable(entry, interest, now)
+        ]
+        if not candidates:
+            self.misses += 1
+            return None
+        best = min(candidates, key=lambda e: e.name)
+        return self._hit(best, now)
+
+    def _acceptable(self, entry: CsEntry, interest: Interest, now: float) -> bool:
+        if interest.must_be_fresh and not entry.is_fresh(now):
+            return False
+        return True
+
+    def _hit(self, entry: CsEntry, now: float) -> Data:
+        entry.hits += 1
+        entry.last_access = now
+        self.hits += 1
+        return entry.data
+
+    # -- maintenance ------------------------------------------------------------
+
+    def erase(self, prefix: "Name | str") -> int:
+        """Remove every entry under ``prefix``; returns the count removed."""
+        prefix = Name(prefix)
+        victims = [name for name in self._entries if prefix.is_prefix_of(name)]
+        for name in victims:
+            del self._entries[name]
+        return len(victims)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Summary statistics used by the cache ablation benchmark."""
+        return {
+            "size": float(len(self._entries)),
+            "capacity": float(self.capacity),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_ratio": self.hit_ratio,
+            "insertions": float(self.insertions),
+            "evictions": float(self.evictions),
+        }

@@ -1,0 +1,203 @@
+"""Faces: the forwarder's attachment points.
+
+A *face* is the NDN generalisation of an interface: packets are sent out of a
+face and arrive on the peer face at the other end.  Two kinds are provided:
+
+* :class:`NetworkFace` — one end of a point-to-point link between two packet
+  endpoints (forwarders, gateways, clients); delivery is delayed by the link's
+  propagation latency and serialisation time.
+* :class:`LocalFace` — an application face inside a node (zero or negligible
+  delay), used by producers, consumers and the LIDC gateway.
+
+Every endpoint that owns faces must implement the small
+:class:`PacketEndpoint` protocol: ``add_face(face) -> int`` and
+``receive_packet(packet, face) -> None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Union
+
+from repro.exceptions import NDNError
+from repro.ndn.packet import Data, Interest, Nack
+from repro.sim.engine import Environment
+from repro.sim.topology import Link
+
+__all__ = ["Packet", "PacketEndpoint", "FaceStats", "Face", "LocalFace", "NetworkFace", "connect"]
+
+#: Union of every packet type a face can carry.
+Packet = Union[Interest, Data, Nack]
+
+
+class PacketEndpoint(Protocol):
+    """Anything that can own faces and receive packets from them."""
+
+    def add_face(self, face: "Face") -> int:  # pragma: no cover - protocol
+        ...
+
+    def receive_packet(self, packet: Packet, face: "Face") -> None:  # pragma: no cover
+        ...
+
+
+@dataclass
+class FaceStats:
+    """Per-face packet and byte counters."""
+
+    interests_out: int = 0
+    interests_in: int = 0
+    data_out: int = 0
+    data_in: int = 0
+    nacks_out: int = 0
+    nacks_in: int = 0
+    bytes_out: int = 0
+    bytes_in: int = 0
+
+    def record_out(self, packet: Packet) -> None:
+        self.bytes_out += packet.size
+        if isinstance(packet, Interest):
+            self.interests_out += 1
+        elif isinstance(packet, Data):
+            self.data_out += 1
+        else:
+            self.nacks_out += 1
+
+    def record_in(self, packet: Packet) -> None:
+        self.bytes_in += packet.size
+        if isinstance(packet, Interest):
+            self.interests_in += 1
+        elif isinstance(packet, Data):
+            self.data_in += 1
+        else:
+            self.nacks_in += 1
+
+
+class Face:
+    """Base face: owned by an endpoint, delivers to a peer face."""
+
+    def __init__(self, env: Environment, owner: PacketEndpoint, label: str = "") -> None:
+        self.env = env
+        self.owner = owner
+        self.label = label
+        self.face_id: int = -1
+        self.peer: Optional["Face"] = None
+        self.stats = FaceStats()
+        self.up = True
+
+    def attach(self) -> int:
+        """Register this face with its owner; records the assigned id."""
+        self.face_id = self.owner.add_face(self)
+        return self.face_id
+
+    def set_peer(self, peer: "Face") -> None:
+        self.peer = peer
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        """Send ``packet`` towards the peer endpoint."""
+        if not self.up:
+            return
+        if self.peer is None:
+            raise NDNError(f"face {self.label or self.face_id} has no peer")
+        self.stats.record_out(packet)
+        self._transmit(packet)
+
+    def _transmit(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the peer when a packet arrives on this face."""
+        if not self.up:
+            return
+        self.stats.record_in(packet)
+        self.owner.receive_packet(packet, self)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Mark the face down; in-flight packets are dropped on delivery."""
+        self.up = False
+        if self.peer is not None:
+            self.peer.up = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} id={self.face_id} {self.label!r} {'up' if self.up else 'down'}>"
+
+
+class LocalFace(Face):
+    """An in-node application face: delivery costs a fixed small delay."""
+
+    def __init__(
+        self,
+        env: Environment,
+        owner: PacketEndpoint,
+        label: str = "",
+        delay_s: float = 0.0,
+    ) -> None:
+        super().__init__(env, owner, label)
+        self.delay_s = delay_s
+
+    def _transmit(self, packet: Packet) -> None:
+        peer = self.peer
+        assert peer is not None
+        if self.delay_s <= 0:
+            peer.deliver(packet)
+            return
+
+        def _deliver():
+            yield self.env.timeout(self.delay_s)
+            peer.deliver(packet)
+
+        self.env.process(_deliver(), name=f"deliver:{self.label}")
+
+
+class NetworkFace(Face):
+    """A face across a network link with latency and bandwidth."""
+
+    def __init__(
+        self,
+        env: Environment,
+        owner: PacketEndpoint,
+        link: Optional[Link] = None,
+        label: str = "",
+    ) -> None:
+        super().__init__(env, owner, label)
+        self.link = link or Link("a", "b", latency_s=0.001, bandwidth_bps=1e9)
+
+    def _transmit(self, packet: Packet) -> None:
+        peer = self.peer
+        assert peer is not None
+        delay = self.link.transfer_time(packet.size)
+
+        def _deliver():
+            yield self.env.timeout(delay)
+            peer.deliver(packet)
+
+        self.env.process(_deliver(), name=f"xmit:{self.label}")
+
+
+def connect(
+    env: Environment,
+    endpoint_a: PacketEndpoint,
+    endpoint_b: PacketEndpoint,
+    link: Optional[Link] = None,
+    label: str = "",
+    face_cls: type = NetworkFace,
+) -> tuple[Face, Face]:
+    """Create a pair of peered faces between two endpoints.
+
+    Returns ``(face_on_a, face_on_b)``; both are already attached to their
+    owners and peered with each other.
+    """
+    if face_cls is NetworkFace:
+        face_a: Face = NetworkFace(env, endpoint_a, link=link, label=f"{label}:a")
+        face_b: Face = NetworkFace(env, endpoint_b, link=link, label=f"{label}:b")
+    else:
+        face_a = face_cls(env, endpoint_a, label=f"{label}:a")
+        face_b = face_cls(env, endpoint_b, label=f"{label}:b")
+    face_a.set_peer(face_b)
+    face_b.set_peer(face_a)
+    face_a.attach()
+    face_b.attach()
+    return face_a, face_b

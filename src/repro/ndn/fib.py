@@ -1,0 +1,193 @@
+"""Forwarding Information Base (FIB) backed by a name-prefix trie.
+
+The FIB maps name prefixes to next-hop faces with costs.  Lookup is
+longest-prefix match over name components — the mechanism that lets
+``/ndn/k8s/compute`` and ``/ndn/k8s/data`` route to different places while a
+bare ``/ndn/k8s`` route acts as a fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.exceptions import NDNError
+from repro.ndn.name import Component, Name
+
+__all__ = ["NextHop", "FibEntry", "NameTree", "Fib"]
+
+
+@dataclass(frozen=True)
+class NextHop:
+    """One next-hop: a face id plus a routing cost."""
+
+    face_id: int
+    cost: float = 0.0
+
+
+@dataclass
+class FibEntry:
+    """A FIB entry: a prefix and its next hops sorted by cost."""
+
+    prefix: Name
+    nexthops: list[NextHop] = field(default_factory=list)
+
+    def add_nexthop(self, face_id: int, cost: float = 0.0) -> None:
+        """Add or update a next hop, keeping the list sorted by cost."""
+        self.nexthops = [hop for hop in self.nexthops if hop.face_id != face_id]
+        self.nexthops.append(NextHop(face_id=face_id, cost=cost))
+        self.nexthops.sort(key=lambda hop: (hop.cost, hop.face_id))
+
+    def remove_nexthop(self, face_id: int) -> bool:
+        before = len(self.nexthops)
+        self.nexthops = [hop for hop in self.nexthops if hop.face_id != face_id]
+        return len(self.nexthops) != before
+
+    def has_nexthops(self) -> bool:
+        return bool(self.nexthops)
+
+    def best(self) -> Optional[NextHop]:
+        return self.nexthops[0] if self.nexthops else None
+
+
+class _TrieNode:
+    __slots__ = ("children", "entry")
+
+    def __init__(self) -> None:
+        self.children: dict[Component, _TrieNode] = {}
+        self.entry: Optional[FibEntry] = None
+
+
+class NameTree:
+    """A trie over name components holding :class:`FibEntry` objects."""
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, prefix: "Name | str") -> FibEntry:
+        """Get-or-create the entry at ``prefix``."""
+        prefix = Name(prefix)
+        node = self._root
+        for comp in prefix:
+            node = node.children.setdefault(comp, _TrieNode())
+        if node.entry is None:
+            node.entry = FibEntry(prefix=prefix)
+            self._size += 1
+        return node.entry
+
+    def exact(self, prefix: "Name | str") -> Optional[FibEntry]:
+        """The entry exactly at ``prefix``, if any."""
+        prefix = Name(prefix)
+        node = self._root
+        for comp in prefix:
+            node = node.children.get(comp)
+            if node is None:
+                return None
+        return node.entry
+
+    def longest_prefix_match(self, name: "Name | str") -> Optional[FibEntry]:
+        """The deepest entry whose prefix is a prefix of ``name``."""
+        name = Name(name)
+        node = self._root
+        best = node.entry
+        for comp in name:
+            node = node.children.get(comp)
+            if node is None:
+                break
+            if node.entry is not None:
+                best = node.entry
+        return best
+
+    def remove(self, prefix: "Name | str") -> bool:
+        """Remove the entry at ``prefix`` (pruning empty branches)."""
+        prefix = Name(prefix)
+        path: list[tuple[_TrieNode, Component]] = []
+        node = self._root
+        for comp in prefix:
+            child = node.children.get(comp)
+            if child is None:
+                return False
+            path.append((node, comp))
+            node = child
+        if node.entry is None:
+            return False
+        node.entry = None
+        self._size -= 1
+        # Prune childless, entry-less nodes bottom-up.
+        for parent, comp in reversed(path):
+            child = parent.children[comp]
+            if child.entry is None and not child.children:
+                del parent.children[comp]
+            else:
+                break
+        return True
+
+    def entries(self) -> Iterator[FibEntry]:
+        """All entries, depth-first in canonical component order."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.entry is not None:
+                yield node.entry
+            for comp in sorted(node.children, reverse=True):
+                stack.append(node.children[comp])
+
+
+class Fib:
+    """The forwarder's FIB: prefix registration plus longest-prefix lookup."""
+
+    def __init__(self) -> None:
+        self._tree = NameTree()
+        self.lookups = 0
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def add_route(self, prefix: "Name | str", face_id: int, cost: float = 0.0) -> FibEntry:
+        """Register ``prefix`` towards ``face_id`` with the given cost."""
+        if face_id < 0:
+            raise NDNError(f"invalid face id {face_id}")
+        entry = self._tree.insert(prefix)
+        entry.add_nexthop(face_id, cost)
+        return entry
+
+    def remove_route(self, prefix: "Name | str", face_id: int) -> bool:
+        """Unregister one next hop; drops the entry when no hops remain."""
+        entry = self._tree.exact(prefix)
+        if entry is None:
+            return False
+        removed = entry.remove_nexthop(face_id)
+        if removed and not entry.has_nexthops():
+            self._tree.remove(prefix)
+        return removed
+
+    def remove_face(self, face_id: int) -> int:
+        """Remove ``face_id`` from every entry (face went down); returns count."""
+        removed = 0
+        for entry in list(self._tree.entries()):
+            if entry.remove_nexthop(face_id):
+                removed += 1
+                if not entry.has_nexthops():
+                    self._tree.remove(entry.prefix)
+        return removed
+
+    def lookup(self, name: "Name | str") -> Optional[FibEntry]:
+        """Longest-prefix match for ``name`` (entries with live next hops only)."""
+        self.lookups += 1
+        entry = self._tree.longest_prefix_match(name)
+        if entry is not None and entry.has_nexthops():
+            return entry
+        return None
+
+    def exact(self, prefix: "Name | str") -> Optional[FibEntry]:
+        return self._tree.exact(prefix)
+
+    def entries(self) -> list[FibEntry]:
+        return list(self._tree.entries())
+
+    def prefixes(self) -> list[Name]:
+        return [entry.prefix for entry in self._tree.entries()]

@@ -1,0 +1,327 @@
+"""The NDN forwarder (the reproduction's NFD equivalent).
+
+The forwarder owns the three tables (CS, PIT, FIB), a set of faces, and a
+strategy-choice table.  Its pipelines mirror NFD's:
+
+Interest pipeline
+    hop-limit check → duplicate-nonce check → Content Store lookup → PIT
+    insert/aggregate → FIB longest-prefix match → strategy → forward
+    (or NACK ``NoRoute``).
+
+Data pipeline
+    PIT match (drop unsolicited unless configured otherwise) → Content Store
+    insert → forward to every downstream face.
+
+Nack pipeline
+    retry on an alternative next hop if the strategy has one left, otherwise
+    propagate the NACK downstream and erase the PIT entry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.exceptions import NDNError
+from repro.ndn.cs import CachePolicy, ContentStore
+from repro.ndn.face import Face, LocalFace, Packet
+from repro.ndn.fib import Fib
+from repro.ndn.name import Name
+from repro.ndn.packet import Data, Interest, Nack, NackReason
+from repro.ndn.pit import PendingInterestTable
+from repro.ndn.strategy import Strategy, StrategyChoiceTable
+from repro.sim.engine import Environment
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.trace import Tracer
+
+__all__ = ["Forwarder"]
+
+
+class Forwarder:
+    """A software forwarder node.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    name:
+        Node name (used in traces and for routing adjacency).
+    cs_capacity:
+        Content-store capacity in packets (0 disables caching).
+    cache_unsolicited:
+        Whether Data arriving with no matching PIT entry is still cached
+        (useful for repo-style producers).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "forwarder",
+        cs_capacity: int = 1024,
+        cs_policy: "CachePolicy | str" = CachePolicy.LRU,
+        cache_unsolicited: bool = False,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.cs = ContentStore(capacity=cs_capacity, policy=cs_policy, clock=lambda: env.now)
+        self.pit = PendingInterestTable(clock=lambda: env.now)
+        self.fib = Fib()
+        self.strategies = StrategyChoiceTable()
+        self.cache_unsolicited = cache_unsolicited
+        self.tracer = tracer or Tracer(clock=lambda: env.now, enabled=False)
+        self.metrics = metrics or MetricsRegistry(clock=lambda: env.now)
+        self._faces: dict[int, Face] = {}
+        self._next_face_id = 1
+        #: Per-PIT-name record of upstream faces already tried (for NACK retry).
+        self._tried: dict[Name, set[int]] = {}
+
+    # ------------------------------------------------------------------ faces
+
+    def add_face(self, face: Face) -> int:
+        """Register a face and return its id."""
+        face_id = self._next_face_id
+        self._next_face_id += 1
+        self._faces[face_id] = face
+        return face_id
+
+    def remove_face(self, face_id: int) -> None:
+        """Detach a face and purge it from the FIB."""
+        face = self._faces.pop(face_id, None)
+        if face is not None:
+            face.close()
+        self.fib.remove_face(face_id)
+
+    def face(self, face_id: int) -> Face:
+        try:
+            return self._faces[face_id]
+        except KeyError:
+            raise NDNError(f"{self.name}: unknown face id {face_id}") from None
+
+    def faces(self) -> dict[int, Face]:
+        return dict(self._faces)
+
+    # ----------------------------------------------------------------- routes
+
+    def register_prefix(self, prefix: "Name | str", face: "Face | int", cost: float = 0.0) -> None:
+        """Register a prefix towards a face (by object or id)."""
+        face_id = face.face_id if isinstance(face, Face) else int(face)
+        if face_id not in self._faces:
+            raise NDNError(f"{self.name}: cannot register prefix on unknown face {face_id}")
+        self.fib.add_route(prefix, face_id, cost)
+        self.tracer.record("fib", "register", prefix=str(Name(prefix)), face=face_id, cost=cost)
+
+    def unregister_prefix(self, prefix: "Name | str", face: "Face | int") -> bool:
+        face_id = face.face_id if isinstance(face, Face) else int(face)
+        removed = self.fib.remove_route(prefix, face_id)
+        if removed:
+            self.tracer.record("fib", "unregister", prefix=str(Name(prefix)), face=face_id)
+        return removed
+
+    def set_strategy(self, prefix: "Name | str", strategy: Strategy) -> None:
+        """Choose the forwarding strategy for a namespace."""
+        self.strategies.set_strategy(prefix, strategy)
+
+    def attach_producer(
+        self,
+        prefix: "Name | str",
+        handler: Callable[[Interest], "Data | Nack | None"],
+        delay_s: float = 0.0,
+    ) -> Face:
+        """Attach an application producer.
+
+        ``handler`` is invoked for each Interest reaching the prefix; it may
+        return a :class:`Data` (sent back immediately), a :class:`Nack`, or
+        ``None`` (the application will answer later through the returned
+        face's ``send``).
+        """
+
+        class _ProducerEndpoint:
+            def __init__(self, outer: "Forwarder") -> None:
+                self._outer = outer
+                self.face: Optional[Face] = None
+
+            def add_face(self, face: Face) -> int:
+                return 0  # application side does not number its faces
+
+            def receive_packet(self, packet: Packet, face: Face) -> None:
+                if isinstance(packet, Interest):
+                    response = handler(packet)
+                    if response is not None:
+                        face.send(response)
+
+        endpoint = _ProducerEndpoint(self)
+        app_face = LocalFace(self.env, endpoint, label=f"{self.name}:app:{prefix}", delay_s=delay_s)
+        fwd_face = LocalFace(self.env, self, label=f"{self.name}:fwd:{prefix}", delay_s=delay_s)
+        app_face.set_peer(fwd_face)
+        fwd_face.set_peer(app_face)
+        endpoint.face = app_face
+        fwd_face.attach()
+        self.register_prefix(prefix, fwd_face)
+        return app_face
+
+    # ------------------------------------------------------------- packet I/O
+
+    def receive_packet(self, packet: Packet, face: Face) -> None:
+        """Entry point for every packet arriving on one of our faces."""
+        for expired in self.pit.expire():
+            # Forget which upstreams were tried so later retransmissions start fresh.
+            self._tried.pop(expired.name, None)
+        if isinstance(packet, Interest):
+            self._process_interest(packet, face)
+        elif isinstance(packet, Data):
+            self._process_data(packet, face)
+        elif isinstance(packet, Nack):
+            self._process_nack(packet, face)
+        else:  # pragma: no cover - defensive
+            raise NDNError(f"{self.name}: unknown packet type {type(packet)!r}")
+
+    # Interest pipeline ------------------------------------------------------
+
+    def _process_interest(self, interest: Interest, in_face: Face) -> None:
+        self.metrics.counter("interests_received").inc()
+        self.tracer.record("interest", "in", name=str(interest.name), face=in_face.face_id)
+
+        if interest.hop_limit <= 0:
+            self.metrics.counter("interests_dropped_hop_limit").inc()
+            return
+
+        if self.pit.is_duplicate_nonce(interest):
+            self.metrics.counter("interests_duplicate").inc()
+            in_face.send(Nack(interest=interest, reason=NackReason.DUPLICATE))
+            return
+
+        cached = self.cs.find(interest)
+        if cached is not None:
+            self.metrics.counter("cs_hits").inc()
+            self.tracer.record("interest", "cs-hit", name=str(interest.name))
+            in_face.send(cached)
+            return
+
+        entry, is_new = self.pit.insert(interest, in_face.face_id)
+        if not is_new and entry.out_records:
+            # Aggregated: an upstream fetch is already in flight.
+            self.metrics.counter("interests_aggregated").inc()
+            return
+
+        self._forward_interest(interest, in_face.face_id)
+
+    def _forward_interest(self, interest: Interest, in_face_id: int) -> None:
+        fib_entry = self.fib.lookup(interest.name)
+        if fib_entry is None:
+            self._reject(interest, NackReason.NO_ROUTE)
+            return
+        strategy = self.strategies.find(interest.name)
+        excluded = set(self._tried.get(interest.name, set()))
+        # Never send an Interest back towards a face that is waiting for the
+        # answer (would bounce between neighbours that learned each other's routes).
+        pit_entry = self.pit.find_exact(interest)
+        if pit_entry is not None:
+            excluded.update(pit_entry.downstream_faces())
+        out_face_ids = strategy.select(interest, fib_entry, in_face_id, tuple(excluded))
+        out_face_ids = [fid for fid in out_face_ids if fid in self._faces and self._faces[fid].up]
+        if not out_face_ids:
+            self._reject(interest, NackReason.NO_ROUTE)
+            return
+        forwarded = interest.with_decremented_hop_limit()
+        for face_id in out_face_ids:
+            self._tried.setdefault(interest.name, set()).add(face_id)
+            self.pit.record_out(forwarded, face_id)
+            self.metrics.counter("interests_forwarded").inc()
+            self.tracer.record("interest", "out", name=str(interest.name), face=face_id)
+            self._faces[face_id].send(forwarded)
+
+    def _reject(self, interest: Interest, reason: int) -> None:
+        """NACK every downstream face waiting on ``interest`` and drop the entry."""
+        entry = self.pit.find_exact(interest)
+        downstream = entry.downstream_faces() if entry else []
+        self.pit.remove(interest)
+        self._tried.pop(interest.name, None)
+        self.metrics.counter("interests_nacked").inc()
+        self.tracer.record("interest", "nack", name=str(interest.name), reason=reason)
+        for face_id in downstream:
+            face = self._faces.get(face_id)
+            if face is not None and face.up:
+                face.send(Nack(interest=interest, reason=reason))
+
+    # Data pipeline --------------------------------------------------------------
+
+    def _process_data(self, data: Data, in_face: Face) -> None:
+        self.metrics.counter("data_received").inc()
+        self.tracer.record("data", "in", name=str(data.name), face=in_face.face_id)
+
+        downstream = self.pit.satisfy(data)
+        if not downstream:
+            self.metrics.counter("data_unsolicited").inc()
+            if self.cache_unsolicited:
+                self.cs.insert(data)
+            return
+
+        self.cs.insert(data)
+        self._tried.pop(data.name, None)
+        for face_id in downstream:
+            if face_id == in_face.face_id:
+                continue
+            face = self._faces.get(face_id)
+            if face is not None and face.up:
+                self.metrics.counter("data_forwarded").inc()
+                self.tracer.record("data", "out", name=str(data.name), face=face_id)
+                face.send(data)
+
+    # Nack pipeline ----------------------------------------------------------------
+
+    def _process_nack(self, nack: Nack, in_face: Face) -> None:
+        self.metrics.counter("nacks_received").inc()
+        self.tracer.record("nack", "in", name=str(nack.name), reason=nack.reason)
+        interest = nack.interest
+        entry = self.pit.find_exact(interest)
+        if entry is None:
+            return
+        # Try an alternative upstream before giving up.
+        fib_entry = self.fib.lookup(interest.name)
+        if fib_entry is not None:
+            strategy = self.strategies.find(interest.name)
+            excluded = set(self._tried.get(interest.name, set()))
+            excluded.update(entry.downstream_faces())
+            retry = strategy.select(interest, fib_entry, in_face.face_id, tuple(excluded))
+            retry = [
+                fid
+                for fid in retry
+                if fid in self._faces and self._faces[fid].up and fid != in_face.face_id
+            ]
+            if retry:
+                forwarded = interest.with_decremented_hop_limit()
+                for face_id in retry:
+                    self._tried.setdefault(interest.name, set()).add(face_id)
+                    self.pit.record_out(forwarded, face_id)
+                    self.metrics.counter("nack_retries").inc()
+                    self.tracer.record("nack", "retry", name=str(interest.name), face=face_id)
+                    self._faces[face_id].send(forwarded)
+                return
+        # No alternative: propagate downstream.
+        downstream = entry.downstream_faces()
+        self.pit.remove(interest)
+        self._tried.pop(interest.name, None)
+        for face_id in downstream:
+            if face_id == in_face.face_id:
+                continue
+            face = self._faces.get(face_id)
+            if face is not None and face.up:
+                self.metrics.counter("nacks_forwarded").inc()
+                face.send(Nack(interest=interest, reason=nack.reason))
+
+    # ------------------------------------------------------------------- misc
+
+    def stats(self) -> dict[str, object]:
+        """A snapshot of forwarder state used by tests and benchmarks."""
+        return {
+            "name": self.name,
+            "faces": len(self._faces),
+            "fib_entries": len(self.fib),
+            "pit_entries": len(self.pit),
+            "cs": self.cs.stats(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Forwarder {self.name} faces={len(self._faces)} fib={len(self.fib)}>"

@@ -1,0 +1,166 @@
+"""Pending Interest Table (PIT).
+
+The PIT records which faces asked for which names so that returning Data can
+be sent back along the reverse path, and so that identical in-flight requests
+are aggregated (one upstream transmission serves many downstream consumers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.ndn.name import Name
+from repro.ndn.packet import Data, Interest
+
+__all__ = ["PitEntry", "PendingInterestTable"]
+
+
+@dataclass
+class InRecord:
+    """A downstream face that asked for the name."""
+
+    face_id: int
+    nonce: int
+    expiry: float
+
+
+@dataclass
+class OutRecord:
+    """An upstream face the Interest was forwarded to."""
+
+    face_id: int
+    nonce: int
+    expiry: float
+
+
+@dataclass
+class PitEntry:
+    """All state for one pending name."""
+
+    name: Name
+    can_be_prefix: bool
+    in_records: dict[int, InRecord] = field(default_factory=dict)
+    out_records: dict[int, OutRecord] = field(default_factory=dict)
+    nonces: set[int] = field(default_factory=set)
+
+    def downstream_faces(self) -> list[int]:
+        """Faces waiting for Data, in insertion order."""
+        return list(self.in_records.keys())
+
+    def upstream_faces(self) -> list[int]:
+        return list(self.out_records.keys())
+
+    def matches_data(self, data: Data) -> bool:
+        if self.can_be_prefix:
+            return self.name.is_prefix_of(data.name)
+        return self.name == data.name
+
+    def expiry(self) -> float:
+        """Latest expiry over all records (entry lifetime)."""
+        expiries = [rec.expiry for rec in self.in_records.values()]
+        expiries += [rec.expiry for rec in self.out_records.values()]
+        return max(expiries) if expiries else 0.0
+
+
+class PendingInterestTable:
+    """PIT keyed by (name, can_be_prefix)."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self._entries: dict[tuple[Name, bool], PitEntry] = {}
+        self.aggregated = 0
+        self.satisfied = 0
+        self.expired = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _key(self, interest: Interest) -> tuple[Name, bool]:
+        return (interest.name, interest.can_be_prefix)
+
+    # -- Interest path -------------------------------------------------------
+
+    def insert(self, interest: Interest, in_face_id: int) -> tuple[PitEntry, bool]:
+        """Record a downstream request.
+
+        Returns ``(entry, is_new)``; ``is_new`` is False when the Interest was
+        aggregated onto an existing entry (already pending upstream).
+        """
+        key = self._key(interest)
+        now = self._clock()
+        expiry = now + interest.lifetime
+        entry = self._entries.get(key)
+        is_new = entry is None
+        if entry is None:
+            entry = PitEntry(name=interest.name, can_be_prefix=interest.can_be_prefix)
+            self._entries[key] = entry
+        else:
+            self.aggregated += 1
+        entry.in_records[in_face_id] = InRecord(face_id=in_face_id, nonce=interest.nonce, expiry=expiry)
+        entry.nonces.add(interest.nonce)
+        return entry, is_new
+
+    def is_duplicate_nonce(self, interest: Interest) -> bool:
+        """Loop detection: same name with a nonce we have already seen."""
+        entry = self._entries.get(self._key(interest))
+        return entry is not None and interest.nonce in entry.nonces
+
+    def record_out(self, interest: Interest, out_face_id: int) -> None:
+        """Record that the Interest was forwarded upstream on ``out_face_id``."""
+        entry = self._entries.get(self._key(interest))
+        if entry is None:
+            return
+        expiry = self._clock() + interest.lifetime
+        entry.out_records[out_face_id] = OutRecord(
+            face_id=out_face_id, nonce=interest.nonce, expiry=expiry
+        )
+
+    # -- Data path -----------------------------------------------------------------
+
+    def find_matching(self, data: Data) -> list[PitEntry]:
+        """All PIT entries satisfied by ``data`` (exact and prefix entries)."""
+        return [entry for entry in self._entries.values() if entry.matches_data(data)]
+
+    def satisfy(self, data: Data) -> list[int]:
+        """Consume entries matched by ``data``; returns downstream face ids."""
+        faces: list[int] = []
+        matched_keys = [
+            key for key, entry in self._entries.items() if entry.matches_data(data)
+        ]
+        for key in matched_keys:
+            entry = self._entries.pop(key)
+            self.satisfied += 1
+            for face_id in entry.downstream_faces():
+                if face_id not in faces:
+                    faces.append(face_id)
+        return faces
+
+    def find_exact(self, interest: Interest) -> Optional[PitEntry]:
+        return self._entries.get(self._key(interest))
+
+    def remove(self, interest: Interest) -> None:
+        self._entries.pop(self._key(interest), None)
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def expire(self) -> list[PitEntry]:
+        """Drop entries whose every record has expired; returns them."""
+        now = self._clock()
+        dead_keys = [key for key, entry in self._entries.items() if entry.expiry() <= now]
+        dead = []
+        for key in dead_keys:
+            dead.append(self._entries.pop(key))
+            self.expired += 1
+        return dead
+
+    def entries(self) -> Iterable[PitEntry]:
+        return list(self._entries.values())
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "size": float(len(self._entries)),
+            "aggregated": float(self.aggregated),
+            "satisfied": float(self.satisfied),
+            "expired": float(self.expired),
+        }

@@ -1,0 +1,139 @@
+"""Forwarding strategies.
+
+A strategy decides which next hop(s) an Interest is forwarded to, given the
+FIB entry that matched it.  LIDC's location independence comes from exactly
+this point: when several clusters announce ``/ndn/k8s/compute``, the strategy
+chooses the nearest / best / least-loaded one without the client knowing any
+cluster location.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ndn.fib import FibEntry
+from repro.ndn.name import Name
+from repro.ndn.packet import Interest
+from repro.sim.rng import SeededRNG
+
+__all__ = [
+    "Strategy",
+    "BestRouteStrategy",
+    "MulticastStrategy",
+    "LoadBalanceStrategy",
+    "StrategyChoiceTable",
+]
+
+
+class Strategy:
+    """Base strategy interface."""
+
+    name = "base"
+
+    def select(
+        self,
+        interest: Interest,
+        fib_entry: FibEntry,
+        in_face_id: int,
+        tried_faces: Sequence[int] = (),
+    ) -> list[int]:
+        """Return the face ids to forward on (may be empty)."""
+        raise NotImplementedError
+
+    def _eligible(
+        self, fib_entry: FibEntry, in_face_id: int, tried_faces: Sequence[int]
+    ) -> list:
+        return [
+            hop
+            for hop in fib_entry.nexthops
+            if hop.face_id != in_face_id and hop.face_id not in tried_faces
+        ]
+
+
+class BestRouteStrategy(Strategy):
+    """Forward to the lowest-cost untried next hop (NFD's default)."""
+
+    name = "best-route"
+
+    def select(self, interest, fib_entry, in_face_id, tried_faces=()):
+        eligible = self._eligible(fib_entry, in_face_id, tried_faces)
+        if not eligible:
+            return []
+        best = min(eligible, key=lambda hop: (hop.cost, hop.face_id))
+        return [best.face_id]
+
+
+class MulticastStrategy(Strategy):
+    """Forward to every eligible next hop (used for discovery / sync)."""
+
+    name = "multicast"
+
+    def select(self, interest, fib_entry, in_face_id, tried_faces=()):
+        return [hop.face_id for hop in self._eligible(fib_entry, in_face_id, tried_faces)]
+
+
+class LoadBalanceStrategy(Strategy):
+    """Spread Interests over next hops.
+
+    Two modes:
+
+    * ``weighted=False`` — pure round robin over eligible hops;
+    * ``weighted=True`` — random choice weighted by the inverse routing cost,
+      so cheaper (nearer / less loaded) clusters receive proportionally more
+      requests while others still get traffic.
+    """
+
+    name = "load-balance"
+
+    def __init__(self, rng: Optional[SeededRNG] = None, weighted: bool = False) -> None:
+        self._rng = rng or SeededRNG(0)
+        self._weighted = weighted
+        self._counters: dict[Name, int] = {}
+
+    def select(self, interest, fib_entry, in_face_id, tried_faces=()):
+        eligible = self._eligible(fib_entry, in_face_id, tried_faces)
+        if not eligible:
+            return []
+        if self._weighted:
+            weights = [1.0 / (1.0 + hop.cost) for hop in eligible]
+            total = sum(weights)
+            pick = self._rng.uniform(0.0, total, stream="load-balance")
+            cumulative = 0.0
+            for hop, weight in zip(eligible, weights):
+                cumulative += weight
+                if pick <= cumulative:
+                    return [hop.face_id]
+            return [eligible[-1].face_id]
+        counter = self._counters.get(fib_entry.prefix, 0)
+        self._counters[fib_entry.prefix] = counter + 1
+        return [eligible[counter % len(eligible)].face_id]
+
+
+class StrategyChoiceTable:
+    """Per-prefix strategy selection with longest-prefix-match semantics."""
+
+    def __init__(self, default: Optional[Strategy] = None) -> None:
+        self._default = default or BestRouteStrategy()
+        self._choices: dict[Name, Strategy] = {}
+
+    def set_strategy(self, prefix: "Name | str", strategy: Strategy) -> None:
+        self._choices[Name(prefix)] = strategy
+
+    def unset_strategy(self, prefix: "Name | str") -> None:
+        self._choices.pop(Name(prefix), None)
+
+    def find(self, name: "Name | str") -> Strategy:
+        """The strategy governing ``name`` (deepest configured prefix wins)."""
+        name = Name(name)
+        best_prefix: Optional[Name] = None
+        for prefix in self._choices:
+            if prefix.is_prefix_of(name):
+                if best_prefix is None or len(prefix) > len(best_prefix):
+                    best_prefix = prefix
+        if best_prefix is None:
+            return self._default
+        return self._choices[best_prefix]
+
+    @property
+    def default(self) -> Strategy:
+        return self._default

@@ -1,0 +1,62 @@
+"""Discrete-event simulation kernel.
+
+The kernel follows the classic process-interaction style (generators that
+``yield`` events), similar in spirit to SimPy but implemented from scratch so
+the reproduction has no external runtime dependencies.
+
+Public API
+----------
+
+* :class:`~repro.sim.engine.Environment` — the event loop and simulated clock.
+* :class:`~repro.sim.engine.Event`, :class:`~repro.sim.engine.Timeout`,
+  :class:`~repro.sim.engine.Process`, :class:`~repro.sim.engine.AllOf`,
+  :class:`~repro.sim.engine.AnyOf` — the yieldable primitives.
+* :class:`~repro.sim.resources.Resource` — a capacity-limited resource with a
+  FIFO queue (models CPUs, network links, …).
+* :class:`~repro.sim.resources.Container` — a continuous-level container
+  (models memory pools, storage quotas).
+* :class:`~repro.sim.resources.Store` — a FIFO object store (models queues and
+  mailboxes).
+* :class:`~repro.sim.topology.Topology` — latency/bandwidth network topology.
+* :class:`~repro.sim.metrics.MetricsRegistry` — counters, gauges, histograms.
+* :class:`~repro.sim.trace.Tracer` — structured event tracing.
+* :class:`~repro.sim.rng.SeededRNG` — deterministic random streams.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Process,
+    Timeout,
+)
+from repro.sim.resources import Container, Resource, Store, PriorityStore
+from repro.sim.topology import Link, Topology, TopologyNode
+from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from repro.sim.trace import TraceEvent, Tracer
+from repro.sim.rng import SeededRNG
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "Resource",
+    "Container",
+    "Store",
+    "PriorityStore",
+    "Topology",
+    "TopologyNode",
+    "Link",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "Tracer",
+    "TraceEvent",
+    "SeededRNG",
+]

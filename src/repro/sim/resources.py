@@ -1,0 +1,303 @@
+"""Shared-resource primitives built on the event engine.
+
+Three classic primitives are provided:
+
+* :class:`Resource` — capacity-limited resource with FIFO request queue
+  (models CPU slots, NodePort sockets, concurrent job slots, …).
+* :class:`Container` — continuous level with put/get (models memory pools,
+  storage quotas, token buckets).
+* :class:`Store` / :class:`PriorityStore` — object queues (models mailboxes,
+  work queues, network buffers).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import Environment, Event
+
+__all__ = ["Resource", "Release", "Container", "Store", "PriorityStore"]
+
+
+class Request(Event):
+    """A pending request for one unit of a :class:`Resource`.
+
+    Usable as a context manager inside a process::
+
+        with resource.request() as req:
+            yield req
+            ...  # holding the resource
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env, name=f"request({resource.name})")
+        self.resource = resource
+        resource._queue.append(self)
+        resource._trigger_requests()
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the queue."""
+        if self in self.resource._queue:
+            self.resource._queue.remove(self)
+
+
+class Release(Event):
+    """Event representing the release of a previously granted request."""
+
+    __slots__ = ()
+
+
+class Resource:
+    """A capacity-limited resource with a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = "resource") -> None:
+        if capacity <= 0:
+            raise SimulationError(f"resource capacity must be positive, got {capacity}")
+        self.env = env
+        self.name = name
+        self._capacity = int(capacity)
+        self._users: list[Request] = []
+        self._queue: deque[Request] = deque()
+
+    @property
+    def capacity(self) -> int:
+        """Total number of concurrent users allowed."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of users currently holding the resource."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting to be granted."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Queue a request for the resource; yields once granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Release a previously granted (or pending) request."""
+        if request in self._users:
+            self._users.remove(request)
+        else:
+            request.cancel()
+        release = Release(self.env, name=f"release({self.name})")
+        release.succeed()
+        self._trigger_requests()
+        return release
+
+    def _trigger_requests(self) -> None:
+        while self._queue and len(self._users) < self._capacity:
+            req = self._queue.popleft()
+            self._users.append(req)
+            req.succeed(req)
+
+
+class ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        super().__init__(container.env, name="container.put")
+        if amount <= 0:
+            raise SimulationError(f"put amount must be positive, got {amount}")
+        self.amount = amount
+        container._put_queue.append(self)
+        container._trigger()
+
+
+class ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        super().__init__(container.env, name="container.get")
+        if amount <= 0:
+            raise SimulationError(f"get amount must be positive, got {amount}")
+        self.amount = amount
+        container._get_queue.append(self)
+        container._trigger()
+
+
+class Container:
+    """A continuous-level container with blocking put/get semantics."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+        name: str = "container",
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError("container capacity must be positive")
+        if init < 0 or init > capacity:
+            raise SimulationError("initial level must lie within [0, capacity]")
+        self.env = env
+        self.name = name
+        self._capacity = capacity
+        self._level = init
+        self._put_queue: deque[ContainerPut] = deque()
+        self._get_queue: deque[ContainerGet] = deque()
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        """Current amount stored in the container."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Add ``amount``; blocks while it would exceed capacity."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Remove ``amount``; blocks until the level suffices."""
+        return ContainerGet(self, amount)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue and self._level + self._put_queue[0].amount <= self._capacity:
+                put = self._put_queue.popleft()
+                self._level += put.amount
+                put.succeed()
+                progressed = True
+            if self._get_queue and self._level >= self._get_queue[0].amount:
+                get = self._get_queue.popleft()
+                self._level -= get.amount
+                get.succeed(get.amount)
+                progressed = True
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env, name="store.put")
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(store.env, name="store.get")
+        self.filter = filter
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class Store:
+    """A FIFO object store with optional capacity and filtered gets."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        name: str = "store",
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.env = env
+        self.name = name
+        self._capacity = capacity
+        self.items: list[Any] = []
+        self._put_queue: deque[StorePut] = deque()
+        self._get_queue: deque[StoreGet] = deque()
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; blocks while the store is full."""
+        return StorePut(self, item)
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Remove and return the oldest item (optionally matching ``filter``)."""
+        return StoreGet(self, filter)
+
+    def _do_put(self, put: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            self.items.append(put.item)
+            put.succeed()
+            return True
+        return False
+
+    def _do_get(self, get: StoreGet) -> bool:
+        if get.filter is None:
+            if self.items:
+                get.succeed(self.items.pop(0))
+                return True
+            return False
+        for idx, item in enumerate(self.items):
+            if get.filter(item):
+                del self.items[idx]
+                get.succeed(item)
+                return True
+        return False
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Serve puts first so same-tick put/get pairs complete.
+            if self._put_queue and self._do_put(self._put_queue[0]):
+                self._put_queue.popleft()
+                progressed = True
+            # Serve any satisfiable get (filters may skip the head).
+            for get in list(self._get_queue):
+                if self._do_get(get):
+                    self._get_queue.remove(get)
+                    progressed = True
+                    break
+
+
+class PriorityStore(Store):
+    """A store that always yields the smallest item first.
+
+    Items must be orderable; ``(priority, payload)`` tuples are the usual
+    pattern.  Insertion order breaks ties deterministically.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf"), name: str = "pstore") -> None:
+        super().__init__(env, capacity=capacity, name=name)
+        self._seq = 0
+
+    def _do_put(self, put: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            heapq.heappush(self.items, (put.item, self._seq))
+            self._seq += 1
+            put.succeed()
+            return True
+        return False
+
+    def _do_get(self, get: StoreGet) -> bool:
+        if get.filter is not None:
+            raise SimulationError("PriorityStore does not support filtered gets")
+        if self.items:
+            item, _ = heapq.heappop(self.items)
+            get.succeed(item)
+            return True
+        return False

@@ -1,0 +1,94 @@
+"""Structured event tracing.
+
+A :class:`Tracer` records ``(time, category, event, attributes)`` tuples.
+The benchmarks use traces to decompose end-to-end latencies into per-step
+contributions (e.g. the five protocol steps of the paper's Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single trace record."""
+
+    time: float
+    category: str
+    event: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, category: Optional[str] = None, event: Optional[str] = None) -> bool:
+        """True when the record matches the given category/event filters."""
+        if category is not None and self.category != category:
+            return False
+        if event is not None and self.event != event:
+            return False
+        return True
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records in arrival order."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None, enabled: bool = True) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def record(self, category: str, event: str, **attrs: Any) -> Optional[TraceEvent]:
+        """Append a trace record stamped with the current simulated time."""
+        if not self.enabled:
+            return None
+        record = TraceEvent(time=self._clock(), category=category, event=event, attrs=dict(attrs))
+        self.events.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def filter(self, category: Optional[str] = None, event: Optional[str] = None) -> list[TraceEvent]:
+        """All records matching the filters, in order."""
+        return [ev for ev in self.events if ev.matches(category, event)]
+
+    def spans(self, start_event: str, end_event: str, key: str) -> list[tuple[Any, float]]:
+        """Pair up start/end records sharing ``attrs[key]`` and return durations.
+
+        Useful for latency decomposition: ``spans("gateway", "job-done", "job_id")``.
+        """
+        starts: dict[Any, float] = {}
+        durations: list[tuple[Any, float]] = []
+        for record in self.events:
+            ident = record.attrs.get(key)
+            if ident is None:
+                continue
+            if record.event == start_event and ident not in starts:
+                starts[ident] = record.time
+            elif record.event == end_event and ident in starts:
+                durations.append((ident, record.time - starts.pop(ident)))
+        return durations
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def categories(self) -> set[str]:
+        return {ev.category for ev in self.events}
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Serialize the trace as a list of plain dicts."""
+        return [
+            {"time": ev.time, "category": ev.category, "event": ev.event, **ev.attrs}
+            for ev in self.events
+        ]
+
+    @staticmethod
+    def merge(tracers: Iterable["Tracer"]) -> list[TraceEvent]:
+        """Merge several tracers' records into a single time-ordered list."""
+        merged: list[TraceEvent] = []
+        for tracer in tracers:
+            merged.extend(tracer.events)
+        merged.sort(key=lambda ev: ev.time)
+        return merged

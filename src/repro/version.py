@@ -1,0 +1,9 @@
+"""Version and provenance metadata for the LIDC reproduction."""
+
+__version__ = "1.0.0"
+
+#: The paper this repository reproduces.
+__paper__ = (
+    "LIDC: A Location Independent Multi-Cluster Computing Framework for "
+    "Data Intensive Science (SC-W 2024, DOI 10.1109/SCW63240.2024.00108)"
+)

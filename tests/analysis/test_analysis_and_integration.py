@@ -1,0 +1,153 @@
+"""Tests for the analysis layer plus whole-system integration scenarios.
+
+The experiment runners double as integration tests: each one drives the full
+stack (client → NDN overlay → gateway → Kubernetes → data lake) and its result
+object encodes the *shape* the paper reports, which is asserted here.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    run_baseline_comparison,
+    run_caching_ablation,
+    run_fig2_name_placement,
+    run_fig3_service_mapping,
+    run_fig5_workflow,
+    run_overlay_churn,
+    run_placement_comparison,
+    run_table1,
+)
+from repro.analysis.results import ResultTable, format_bytes, format_seconds
+from repro.genomics.runtime_model import TABLE1_ROWS
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("value,expected", [
+        (941_000_000, "941MB"), (2_710_000_000, "2.71GB"), (1_000, "1KB"),
+        (512, "512B"), (None, "-"), (1_500_000_000_000, "1.5TB"),
+    ])
+    def test_format_bytes(self, value, expected):
+        assert format_bytes(value) == expected
+
+    @pytest.mark.parametrize("value,expected", [
+        (29390, "8h9m50s"), (87372, "24h16m12s"), (90, "1m30s"), (1.25, "1.25s"), (None, "-"),
+    ])
+    def test_format_seconds(self, value, expected):
+        assert format_seconds(value) == expected
+
+    def test_result_table_render_and_columns(self):
+        table = ResultTable(title="T", columns=["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(22, "yy")
+        table.add_note("a note")
+        text = table.render()
+        assert "T" in text and "a note" in text
+        assert table.column_values("a") == [1, 22]
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_many(self):
+        tables = [ResultTable(title=f"T{i}", columns=["x"]) for i in range(2)]
+        assert "T0" in ResultTable.render_many(tables)
+
+
+class TestTable1Reproduction:
+    @pytest.fixture(scope="class")
+    def table1(self):
+        return run_table1(seed=0)
+
+    def test_every_row_reproduced(self, table1):
+        assert len(table1.measurements) == len(TABLE1_ROWS)
+
+    def test_runtimes_match_paper_within_one_percent(self, table1):
+        assert table1.max_runtime_error < 0.01
+
+    def test_output_sizes_match_paper(self, table1):
+        for measurement in table1.measurements:
+            assert measurement.output_relative_error < 0.01
+
+    def test_resource_variation_is_insignificant(self, table1):
+        # The paper's takeaway: CPU/memory variation does not change run time much.
+        assert table1.runtime_spread("SRR2931415") < 0.02
+        assert table1.runtime_spread("SRR5139395") < 0.02
+
+    def test_kidney_slower_than_rice(self, table1):
+        rice = [m for m in table1.measurements if m.paper.srr_id == "SRR2931415"]
+        kidney = [m for m in table1.measurements if m.paper.srr_id == "SRR5139395"]
+        assert min(k.measured_runtime_s for k in kidney) > 2 * max(r.measured_runtime_s for r in rice)
+
+    def test_table_rendering(self, table1):
+        text = table1.to_table().render()
+        assert "SRR2931415" in text and "941MB" in text
+
+
+class TestFigureExperiments:
+    def test_fig2_name_placement_latencies(self):
+        result = run_fig2_name_placement(seed=1)
+        assert result.data_manifest_latency_s > 0
+        assert result.data_payload_latency_s >= result.data_manifest_latency_s
+        assert result.compute_ack_latency_s > 0
+        # The repeated fetch is served from an on-path content store.
+        assert result.cached_manifest_latency_s < result.data_manifest_latency_s
+        assert "Fig. 2" in result.to_table().title
+
+    def test_fig3_service_mapping(self):
+        result = run_fig3_service_mapping(seed=1)
+        assert 30000 <= result.node_port <= 32767
+        assert result.datalake_dns == "dl-nfd.ndnk8s.svc.cluster.local"
+        assert result.datalake_cluster_ip.startswith("10.152.")
+        assert result.gateway_endpoints >= 1
+        assert result.system_pods_running >= 3
+        assert result.manifest_via_gateway_latency_s > 0
+
+    def test_fig5_computation_dominates(self):
+        result = run_fig5_workflow(seed=1)
+        assert result.report.succeeded
+        assert result.compute_fraction() > 0.99
+        assert result.step_seconds("submit_and_ack") < 1.0
+        assert result.step_seconds("result_retrieval") < 1.0
+        assert result.end_to_end_s > 29_000
+
+    def test_overlay_churn_keeps_placing_jobs(self):
+        result = run_overlay_churn(seed=1, cluster_count=3, requests_per_phase=4,
+                                   job_duration_s=30.0)
+        assert result.success_before == 1.0
+        assert result.success_after_leave == 1.0
+        assert result.success_after_join == 1.0
+        # After the join phase the new cluster actually receives work.
+        used_after_join = {
+            outcome.submission.cluster for outcome in result.outcomes_after_join
+        }
+        assert result.added_cluster in used_after_join
+        assert result.removed_cluster not in used_after_join
+
+
+class TestAblations:
+    def test_caching_ablation_speedup(self):
+        result = run_caching_ablation(seed=1, repeats=4, job_duration_s=300.0)
+        assert result.mean_cold_s > 300.0
+        assert result.mean_warm_s < 1.0
+        assert result.speedup > 100
+        assert result.cache_hits >= result.request_count - 2
+
+    def test_placement_comparison_shapes(self):
+        result = run_placement_comparison(seed=1, jobs=10, job_duration_s=120.0)
+        strategies = {outcome.strategy for outcome in result.outcomes}
+        assert strategies == {"random", "round-robin", "nearest", "least-loaded", "learned"}
+        nearest = result.outcome_for("nearest")
+        best = result.outcome_for(result.best_strategy())
+        # Piling everything onto the nearest (small) cluster is never better
+        # than the best strategy on this contended workload.
+        assert best.mean_turnaround_s <= nearest.mean_turnaround_s
+        assert all(outcome.failures == 0 for outcome in result.outcomes)
+
+    def test_baseline_comparison_availability(self):
+        result = run_baseline_comparison(seed=1, cluster_count=2, requests_per_phase=3,
+                                         job_duration_s=20.0)
+        assert result.lidc_success_normal == 1.0
+        assert result.central_success_normal == 1.0
+        # The headline claim: LIDC survives a cluster failure, the centralized
+        # controller does not survive its own failure.
+        assert result.lidc_success_after_cluster_failure == 1.0
+        assert result.central_success_after_controller_failure == 0.0
+        assert "LIDC" in result.to_table().render()

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.rng import SeededRNG
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def rng() -> SeededRNG:
+    """A deterministic RNG shared by stochastic tests."""
+    return SeededRNG(1234)

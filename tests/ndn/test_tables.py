@@ -1,0 +1,308 @@
+"""Tests for the forwarder tables: Content Store, PIT and FIB."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import NDNError
+from repro.ndn.cs import CachePolicy, ContentStore
+from repro.ndn.fib import Fib, NameTree
+from repro.ndn.name import Name
+from repro.ndn.packet import Data, Interest
+from repro.ndn.pit import PendingInterestTable
+
+
+def make_data(uri: str, freshness: float = 0.0) -> Data:
+    return Data(name=Name(uri), content=b"x", freshness_period=freshness).sign()
+
+
+class TestContentStore:
+    def test_insert_and_exact_find(self):
+        cs = ContentStore(capacity=10)
+        cs.insert(make_data("/a/b"))
+        assert cs.find(Interest(name=Name("/a/b"))) is not None
+        assert cs.hits == 1
+
+    def test_miss_counts(self):
+        cs = ContentStore(capacity=10)
+        assert cs.find(Interest(name=Name("/nope"))) is None
+        assert cs.misses == 1
+        assert cs.hit_ratio == 0.0
+
+    def test_zero_capacity_disables_caching(self):
+        cs = ContentStore(capacity=0)
+        cs.insert(make_data("/a"))
+        assert len(cs) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(NDNError):
+            ContentStore(capacity=-1)
+
+    def test_prefix_match_returns_smallest_name(self):
+        cs = ContentStore(capacity=10)
+        cs.insert(make_data("/a/b/2"))
+        cs.insert(make_data("/a/b/1"))
+        found = cs.find(Interest(name=Name("/a/b"), can_be_prefix=True))
+        assert found.name == Name("/a/b/1")
+
+    def test_exact_interest_does_not_prefix_match(self):
+        cs = ContentStore(capacity=10)
+        cs.insert(make_data("/a/b/1"))
+        assert cs.find(Interest(name=Name("/a/b"))) is None
+
+    def test_must_be_fresh_rejects_stale_entries(self):
+        clock = {"now": 0.0}
+        cs = ContentStore(capacity=10, clock=lambda: clock["now"])
+        cs.insert(make_data("/a", freshness=1.0))
+        clock["now"] = 5.0
+        assert cs.find(Interest(name=Name("/a"), must_be_fresh=True)) is None
+        assert cs.find(Interest(name=Name("/a"))) is not None
+
+    def test_fresh_entry_served_with_must_be_fresh(self):
+        clock = {"now": 0.0}
+        cs = ContentStore(capacity=10, clock=lambda: clock["now"])
+        cs.insert(make_data("/a", freshness=10.0))
+        clock["now"] = 5.0
+        assert cs.find(Interest(name=Name("/a"), must_be_fresh=True)) is not None
+
+    def test_lru_evicts_least_recently_used(self):
+        clock = {"now": 0.0}
+        cs = ContentStore(capacity=2, policy=CachePolicy.LRU, clock=lambda: clock["now"])
+        cs.insert(make_data("/a"))
+        clock["now"] = 1.0
+        cs.insert(make_data("/b"))
+        clock["now"] = 2.0
+        cs.find(Interest(name=Name("/a")))  # touch /a so /b becomes LRU
+        clock["now"] = 3.0
+        cs.insert(make_data("/c"))
+        assert "/a" in cs and "/c" in cs and "/b" not in cs
+
+    def test_fifo_evicts_oldest_insertion(self):
+        cs = ContentStore(capacity=2, policy=CachePolicy.FIFO)
+        cs.insert(make_data("/a"))
+        cs.insert(make_data("/b"))
+        cs.find(Interest(name=Name("/a")))
+        cs.insert(make_data("/c"))
+        assert "/a" not in cs
+
+    def test_lfu_evicts_least_frequently_used(self):
+        cs = ContentStore(capacity=2, policy=CachePolicy.LFU)
+        cs.insert(make_data("/a"))
+        cs.insert(make_data("/b"))
+        for _ in range(3):
+            cs.find(Interest(name=Name("/a")))
+        cs.insert(make_data("/c"))
+        assert "/a" in cs and "/b" not in cs
+
+    def test_reinsert_refreshes_entry(self):
+        cs = ContentStore(capacity=5)
+        cs.insert(make_data("/a"))
+        cs.insert(make_data("/a"))
+        assert len(cs) == 1
+
+    def test_erase_prefix(self):
+        cs = ContentStore(capacity=10)
+        cs.insert(make_data("/a/1"))
+        cs.insert(make_data("/a/2"))
+        cs.insert(make_data("/b/1"))
+        assert cs.erase("/a") == 2
+        assert len(cs) == 1
+
+    def test_stats_fields(self):
+        cs = ContentStore(capacity=10)
+        cs.insert(make_data("/a"))
+        cs.find(Interest(name=Name("/a")))
+        stats = cs.stats()
+        assert stats["size"] == 1
+        assert stats["hits"] == 1
+        assert 0 < stats["hit_ratio"] <= 1
+
+
+class TestPit:
+    def test_insert_creates_entry(self):
+        pit = PendingInterestTable()
+        entry, is_new = pit.insert(Interest(name=Name("/a")), in_face_id=1)
+        assert is_new
+        assert entry.downstream_faces() == [1]
+        assert len(pit) == 1
+
+    def test_aggregation_of_same_name(self):
+        pit = PendingInterestTable()
+        pit.insert(Interest(name=Name("/a")), in_face_id=1)
+        _, is_new = pit.insert(Interest(name=Name("/a")), in_face_id=2)
+        assert not is_new
+        assert pit.aggregated == 1
+        assert len(pit) == 1
+
+    def test_duplicate_nonce_detection(self):
+        pit = PendingInterestTable()
+        interest = Interest(name=Name("/a"))
+        pit.insert(interest, in_face_id=1)
+        assert pit.is_duplicate_nonce(interest)
+        other = Interest(name=Name("/a"))
+        assert not pit.is_duplicate_nonce(other)
+
+    def test_satisfy_returns_downstream_faces_and_removes_entry(self):
+        pit = PendingInterestTable()
+        pit.insert(Interest(name=Name("/a")), in_face_id=1)
+        pit.insert(Interest(name=Name("/a")), in_face_id=2)
+        faces = pit.satisfy(make_data("/a"))
+        assert sorted(faces) == [1, 2]
+        assert len(pit) == 0
+        assert pit.satisfied == 1
+
+    def test_prefix_entry_satisfied_by_longer_data(self):
+        pit = PendingInterestTable()
+        pit.insert(Interest(name=Name("/a"), can_be_prefix=True), in_face_id=3)
+        assert pit.satisfy(make_data("/a/b/c")) == [3]
+
+    def test_exact_entry_not_satisfied_by_longer_data(self):
+        pit = PendingInterestTable()
+        pit.insert(Interest(name=Name("/a")), in_face_id=3)
+        assert pit.satisfy(make_data("/a/b")) == []
+
+    def test_record_out_and_upstreams(self):
+        pit = PendingInterestTable()
+        interest = Interest(name=Name("/a"))
+        entry, _ = pit.insert(interest, in_face_id=1)
+        pit.record_out(interest, out_face_id=9)
+        assert entry.upstream_faces() == [9]
+
+    def test_expiry_removes_old_entries(self):
+        clock = {"now": 0.0}
+        pit = PendingInterestTable(clock=lambda: clock["now"])
+        pit.insert(Interest(name=Name("/a"), lifetime=1.0), in_face_id=1)
+        clock["now"] = 0.5
+        assert pit.expire() == []
+        clock["now"] = 2.0
+        expired = pit.expire()
+        assert len(expired) == 1
+        assert len(pit) == 0
+
+    def test_remove_specific_entry(self):
+        pit = PendingInterestTable()
+        interest = Interest(name=Name("/a"))
+        pit.insert(interest, in_face_id=1)
+        pit.remove(interest)
+        assert len(pit) == 0
+
+    def test_stats(self):
+        pit = PendingInterestTable()
+        pit.insert(Interest(name=Name("/a")), in_face_id=1)
+        stats = pit.stats()
+        assert stats["size"] == 1
+
+
+class TestNameTreeAndFib:
+    def test_exact_and_lpm(self):
+        tree = NameTree()
+        tree.insert("/a")
+        tree.insert("/a/b/c")
+        assert tree.exact("/a/b") is None
+        match = tree.longest_prefix_match("/a/b/c/d")
+        assert match.prefix == Name("/a/b/c")
+        match = tree.longest_prefix_match("/a/x")
+        assert match.prefix == Name("/a")
+
+    def test_lpm_no_match(self):
+        tree = NameTree()
+        tree.insert("/a")
+        assert tree.longest_prefix_match("/b/c") is None
+
+    def test_remove_prunes(self):
+        tree = NameTree()
+        tree.insert("/a/b/c")
+        assert tree.remove("/a/b/c")
+        assert len(tree) == 0
+        assert not tree.remove("/a/b/c")
+
+    def test_remove_keeps_other_branches(self):
+        tree = NameTree()
+        tree.insert("/a/b")
+        tree.insert("/a/c")
+        tree.remove("/a/b")
+        assert tree.exact("/a/c") is not None
+
+    def test_entries_iteration(self):
+        tree = NameTree()
+        for prefix in ("/b", "/a", "/a/x"):
+            tree.insert(prefix)
+        prefixes = {str(entry.prefix) for entry in tree.entries()}
+        assert prefixes == {"/b", "/a", "/a/x"}
+
+    def test_fib_add_and_lookup(self):
+        fib = Fib()
+        fib.add_route("/ndn/k8s/compute", face_id=1, cost=10)
+        fib.add_route("/ndn/k8s/data", face_id=2, cost=5)
+        entry = fib.lookup("/ndn/k8s/compute/app=BLAST")
+        assert entry is not None
+        assert entry.best().face_id == 1
+        assert fib.lookup("/ndn/k8s/data/file").best().face_id == 2
+
+    def test_fib_longest_prefix_wins(self):
+        fib = Fib()
+        fib.add_route("/ndn", face_id=1)
+        fib.add_route("/ndn/k8s/compute", face_id=2)
+        assert fib.lookup("/ndn/k8s/compute/x").best().face_id == 2
+        assert fib.lookup("/ndn/other").best().face_id == 1
+
+    def test_fib_nexthops_sorted_by_cost(self):
+        fib = Fib()
+        fib.add_route("/a", face_id=1, cost=20)
+        fib.add_route("/a", face_id=2, cost=5)
+        entry = fib.lookup("/a/x")
+        assert [hop.face_id for hop in entry.nexthops] == [2, 1]
+
+    def test_fib_update_existing_nexthop_cost(self):
+        fib = Fib()
+        fib.add_route("/a", face_id=1, cost=20)
+        fib.add_route("/a", face_id=1, cost=1)
+        entry = fib.exact("/a")
+        assert len(entry.nexthops) == 1
+        assert entry.best().cost == 1
+
+    def test_fib_remove_route_drops_empty_entry(self):
+        fib = Fib()
+        fib.add_route("/a", face_id=1)
+        assert fib.remove_route("/a", 1)
+        assert fib.lookup("/a/b") is None
+        assert len(fib) == 0
+
+    def test_fib_remove_face_everywhere(self):
+        fib = Fib()
+        fib.add_route("/a", face_id=1)
+        fib.add_route("/b", face_id=1)
+        fib.add_route("/b", face_id=2)
+        assert fib.remove_face(1) == 2
+        assert fib.lookup("/a/x") is None
+        assert fib.lookup("/b/x").best().face_id == 2
+
+    def test_fib_invalid_face_rejected(self):
+        with pytest.raises(NDNError):
+            Fib().add_route("/a", face_id=-1)
+
+    def test_fib_prefixes_listing(self):
+        fib = Fib()
+        fib.add_route("/a", 1)
+        fib.add_route("/b/c", 2)
+        assert {str(p) for p in fib.prefixes()} == {"/a", "/b/c"}
+
+
+_name_strategy = st.lists(
+    st.text(alphabet="abcdef", min_size=1, max_size=3), min_size=1, max_size=5
+).map(lambda parts: Name(parts))
+
+
+class TestFibProperties:
+    @given(prefixes=st.lists(_name_strategy, min_size=1, max_size=20, unique_by=str),
+           query=_name_strategy)
+    def test_lpm_returns_longest_matching_registered_prefix(self, prefixes, query):
+        fib = Fib()
+        for index, prefix in enumerate(prefixes):
+            fib.add_route(prefix, face_id=index + 1)
+        entry = fib.lookup(query)
+        matching = [p for p in prefixes if p.is_prefix_of(query)]
+        if not matching:
+            assert entry is None
+        else:
+            assert entry is not None
+            assert entry.prefix == max(matching, key=len)

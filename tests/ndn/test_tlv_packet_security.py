@@ -1,0 +1,234 @@
+"""Tests for TLV encoding, packet wire formats and signing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import TLVDecodeError, VerificationError
+from repro.ndn.name import Component, Name
+from repro.ndn.packet import ContentType, Data, Interest, Nack, NackReason
+from repro.ndn.security import DigestSigner, HmacSigner, KeyChain, SignatureType
+from repro.ndn.tlv import (
+    decode_all,
+    decode_nonneg_int,
+    decode_tlv,
+    decode_var_number,
+    encode_nonneg_int,
+    encode_tlv,
+    encode_var_number,
+)
+
+
+class TestVarNumbers:
+    @pytest.mark.parametrize("value,expected_len", [(0, 1), (252, 1), (253, 3), (65535, 3), (65536, 5), (2**32, 9)])
+    def test_encoding_width(self, value, expected_len):
+        assert len(encode_var_number(value)) == expected_len
+
+    def test_round_trip(self):
+        for value in (0, 1, 252, 253, 1000, 2**16, 2**32 - 1, 2**40):
+            encoded = encode_var_number(value)
+            decoded, offset = decode_var_number(encoded)
+            assert decoded == value
+            assert offset == len(encoded)
+
+    def test_negative_rejected(self):
+        with pytest.raises(TLVDecodeError):
+            encode_var_number(-1)
+
+    def test_truncated_number_raises(self):
+        with pytest.raises(TLVDecodeError):
+            decode_var_number(b"")
+        with pytest.raises(TLVDecodeError):
+            decode_var_number(bytes([253, 0x01]))  # needs 2 more bytes
+
+
+class TestTlvBlocks:
+    def test_round_trip(self):
+        wire = encode_tlv(0x08, b"hello")
+        type_number, value, offset = decode_tlv(wire)
+        assert type_number == 0x08
+        assert value == b"hello"
+        assert offset == len(wire)
+
+    def test_truncated_value_raises(self):
+        wire = encode_tlv(0x08, b"hello")[:-2]
+        with pytest.raises(TLVDecodeError):
+            decode_tlv(wire)
+
+    def test_decode_all_iterates_blocks(self):
+        wire = encode_tlv(1, b"a") + encode_tlv(2, b"bb")
+        blocks = list(decode_all(wire))
+        assert [(b.type, b.value) for b in blocks] == [(1, b"a"), (2, b"bb")]
+
+    def test_nonneg_int_round_trip(self):
+        for value in (0, 255, 256, 65535, 2**31, 2**63):
+            assert decode_nonneg_int(encode_nonneg_int(value)) == value
+
+    def test_nonneg_int_bad_width(self):
+        with pytest.raises(TLVDecodeError):
+            decode_nonneg_int(b"\x01\x02\x03")
+
+    @given(type_number=st.integers(min_value=1, max_value=2**20),
+           payload=st.binary(max_size=300))
+    def test_tlv_round_trip_property(self, type_number, payload):
+        type_decoded, value, _ = decode_tlv(encode_tlv(type_number, payload))
+        assert type_decoded == type_number
+        assert value == payload
+
+
+class TestInterestWire:
+    def test_round_trip_all_fields(self):
+        interest = Interest(
+            name=Name("/ndn/k8s/compute/app=BLAST"),
+            can_be_prefix=True,
+            must_be_fresh=True,
+            lifetime=2.5,
+            hop_limit=12,
+            application_parameters=b"params",
+        )
+        decoded = Interest.decode(interest.encode())
+        assert decoded.name == interest.name
+        assert decoded.can_be_prefix and decoded.must_be_fresh
+        assert decoded.lifetime == pytest.approx(2.5)
+        assert decoded.hop_limit == 12
+        assert decoded.nonce == interest.nonce
+        assert decoded.application_parameters == b"params"
+
+    def test_decode_rejects_non_interest(self):
+        data = Data(name=Name("/a"), content=b"x").sign()
+        with pytest.raises(TLVDecodeError):
+            Interest.decode(data.encode())
+
+    def test_invalid_lifetime_rejected(self):
+        with pytest.raises(ValueError):
+            Interest(name=Name("/a"), lifetime=0)
+
+    def test_invalid_hop_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Interest(name=Name("/a"), hop_limit=300)
+
+    def test_hop_limit_decrement(self):
+        interest = Interest(name=Name("/a"), hop_limit=2)
+        assert interest.with_decremented_hop_limit().hop_limit == 1
+        assert interest.hop_limit == 2  # original untouched
+
+    def test_exact_match_semantics(self):
+        interest = Interest(name=Name("/a/b"))
+        assert interest.matches_data(Data(name=Name("/a/b")))
+        assert not interest.matches_data(Data(name=Name("/a/b/c")))
+
+    def test_prefix_match_semantics(self):
+        interest = Interest(name=Name("/a"), can_be_prefix=True)
+        assert interest.matches_data(Data(name=Name("/a/b/c")))
+        assert not interest.matches_data(Data(name=Name("/b")))
+
+    def test_size_is_wire_length(self):
+        interest = Interest(name=Name("/abc"))
+        assert interest.size == len(interest.encode())
+
+    def test_name_string_coerced(self):
+        assert Interest(name="/a/b").name == Name("/a/b")
+
+
+class TestDataWire:
+    def test_round_trip(self):
+        data = Data(
+            name=Name("/ndn/k8s/data/sample"),
+            content=b"payload-bytes",
+            content_type=ContentType.BLOB,
+            freshness_period=30.0,
+            final_block_id=Component("seg=9"),
+        ).sign()
+        decoded = Data.decode(data.encode())
+        assert decoded.name == data.name
+        assert decoded.content == b"payload-bytes"
+        assert decoded.freshness_period == pytest.approx(30.0)
+        assert decoded.final_block_id == Component("seg=9")
+        assert decoded.verify()
+
+    def test_string_content_encoded_utf8(self):
+        assert Data(name=Name("/a"), content="héllo").content == "héllo".encode("utf-8")
+
+    def test_content_text_helper(self):
+        assert Data(name=Name("/a"), content=b'{"x": 1}').content_text() == '{"x": 1}'
+
+    def test_encode_signs_automatically(self):
+        data = Data(name=Name("/a"), content=b"x")
+        assert not data.is_signed
+        data.encode()
+        assert data.is_signed
+
+    def test_verify_unsigned_raises(self):
+        with pytest.raises(VerificationError):
+            Data(name=Name("/a")).verify()
+
+    def test_tampered_content_fails_verification(self):
+        data = Data(name=Name("/a"), content=b"original").sign()
+        data.content = b"tampered"
+        assert data.verify() is False
+
+    def test_decode_rejects_non_data(self):
+        interest = Interest(name=Name("/a"))
+        with pytest.raises(TLVDecodeError):
+            Data.decode(interest.encode())
+
+    @given(payload=st.binary(max_size=2000))
+    def test_content_round_trip_property(self, payload):
+        data = Data(name=Name("/x/y"), content=payload).sign()
+        assert Data.decode(data.encode()).content == payload
+
+
+class TestNackWire:
+    def test_round_trip(self):
+        interest = Interest(name=Name("/a/b"))
+        nack = Nack(interest=interest, reason=NackReason.NO_ROUTE)
+        decoded = Nack.decode(nack.encode())
+        assert decoded.name == interest.name
+        assert decoded.reason == NackReason.NO_ROUTE
+        assert decoded.interest.nonce == interest.nonce
+
+    def test_reason_labels(self):
+        assert NackReason.label(NackReason.CONGESTION) == "Congestion"
+        assert "Unknown" in NackReason.label(999)
+
+    def test_decode_rejects_non_nack(self):
+        with pytest.raises(TLVDecodeError):
+            Nack.decode(Interest(name=Name("/a")).encode())
+
+
+class TestSigners:
+    def test_digest_signer_verifies(self):
+        signer = DigestSigner()
+        signature = signer.sign(b"payload")
+        assert signer.verify(b"payload", signature)
+        assert not signer.verify(b"other", signature)
+
+    def test_hmac_signer_requires_key(self):
+        with pytest.raises(VerificationError):
+            HmacSigner("/keys/k1", b"")
+
+    def test_hmac_sign_and_verify(self):
+        signer = HmacSigner("/keys/k1", b"secret")
+        signature = signer.sign(b"payload")
+        assert signer.verify(b"payload", signature)
+        assert not HmacSigner("/keys/k1", b"wrong").verify(b"payload", signature)
+
+    def test_keychain_hmac_data_round_trip(self):
+        keychain = KeyChain()
+        signer = keychain.add_key("/keys/lidc", b"shared-secret", default=True)
+        data = Data(name=Name("/a"), content=b"x").sign(signer)
+        assert data.signature_info.signature_type == SignatureType.HMAC_SHA256
+        assert data.verify(keychain)
+
+    def test_keychain_unknown_key_raises(self):
+        keychain = KeyChain()
+        with pytest.raises(VerificationError):
+            keychain.get_signer("/keys/missing")
+
+    def test_keychain_verifies_wire_decoded_hmac_data(self):
+        keychain = KeyChain()
+        signer = keychain.add_key("/keys/lidc", b"shared-secret")
+        data = Data(name=Name("/a/b"), content=b"payload").sign(signer)
+        decoded = Data.decode(data.encode())
+        assert decoded.verify(keychain)
+        with pytest.raises(VerificationError):
+            decoded.verify()  # default keychain does not know the key

@@ -1,0 +1,260 @@
+"""Tests for Resource, Container, Store and PriorityStore."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import Environment
+from repro.sim.resources import Container, PriorityStore, Resource, Store
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_grant_within_capacity_is_immediate(self, env):
+        resource = Resource(env, capacity=2)
+
+        def proc():
+            req = resource.request()
+            yield req
+            return env.now
+
+        assert env.run_process(proc()) == 0.0
+
+    def test_queueing_when_full(self, env):
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def user(tag, hold):
+            with resource.request() as req:
+                yield req
+                order.append((tag, env.now))
+                yield env.timeout(hold)
+
+        env.process(user("first", 5.0))
+        env.process(user("second", 1.0))
+        env.run()
+        assert order == [("first", 0.0), ("second", 5.0)]
+
+    def test_count_and_queue_length(self, env):
+        resource = Resource(env, capacity=1)
+
+        def holder():
+            with resource.request() as req:
+                yield req
+                yield env.timeout(10.0)
+
+        def waiter():
+            with resource.request() as req:
+                yield req
+
+        env.process(holder())
+        env.process(waiter())
+        env.run(until=1.0)
+        assert resource.count == 1
+        assert resource.queue_length == 1
+
+    def test_release_grants_next_waiter(self, env):
+        resource = Resource(env, capacity=1)
+        grants = []
+
+        def user(tag):
+            with resource.request() as req:
+                yield req
+                grants.append(tag)
+                yield env.timeout(1.0)
+
+        for tag in range(4):
+            env.process(user(tag))
+        env.run()
+        assert grants == [0, 1, 2, 3]
+        assert resource.count == 0
+
+    def test_cancel_pending_request(self, env):
+        resource = Resource(env, capacity=1)
+
+        def holder():
+            with resource.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        env.process(holder())
+        env.run(until=1.0)
+        pending = resource.request()
+        assert resource.queue_length == 1
+        pending.cancel()
+        assert resource.queue_length == 0
+
+
+class TestContainer:
+    def test_initial_level(self, env):
+        container = Container(env, capacity=10.0, init=4.0)
+        assert container.level == 4.0
+
+    def test_invalid_init_rejected(self, env):
+        with pytest.raises(SimulationError):
+            Container(env, capacity=5.0, init=6.0)
+
+    def test_get_blocks_until_enough(self, env):
+        container = Container(env, capacity=100.0, init=0.0)
+        times = {}
+
+        def producer():
+            yield env.timeout(3.0)
+            yield container.put(10.0)
+
+        def consumer():
+            yield container.get(10.0)
+            times["got"] = env.now
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times["got"] == pytest.approx(3.0)
+        assert container.level == 0.0
+
+    def test_put_blocks_when_full(self, env):
+        container = Container(env, capacity=10.0, init=10.0)
+        times = {}
+
+        def producer():
+            yield container.put(5.0)
+            times["put"] = env.now
+
+        def consumer():
+            yield env.timeout(2.0)
+            yield container.get(5.0)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times["put"] == pytest.approx(2.0)
+        assert container.level == 10.0
+
+    def test_nonpositive_amounts_rejected(self, env):
+        container = Container(env, capacity=10.0)
+        with pytest.raises(SimulationError):
+            container.put(0)
+        with pytest.raises(SimulationError):
+            container.get(-1)
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+
+        def proc():
+            yield store.put("item")
+            item = yield store.get()
+            return item
+
+        assert env.run_process(proc()) == "item"
+
+    def test_fifo_ordering(self, env):
+        store = Store(env)
+
+        def proc():
+            for i in range(5):
+                yield store.put(i)
+            out = []
+            for _ in range(5):
+                out.append((yield store.get()))
+            return out
+
+        assert env.run_process(proc()) == [0, 1, 2, 3, 4]
+
+    def test_get_blocks_until_item_arrives(self, env):
+        store = Store(env)
+        times = {}
+
+        def consumer():
+            item = yield store.get()
+            times["got"] = (env.now, item)
+
+        def producer():
+            yield env.timeout(4.0)
+            yield store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert times["got"] == (4.0, "late")
+
+    def test_capacity_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        times = {}
+
+        def producer():
+            yield store.put("a")
+            yield store.put("b")
+            times["second_put"] = env.now
+
+        def consumer():
+            yield env.timeout(3.0)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times["second_put"] == pytest.approx(3.0)
+
+    def test_filtered_get(self, env):
+        store = Store(env)
+
+        def proc():
+            yield store.put({"kind": "x", "v": 1})
+            yield store.put({"kind": "y", "v": 2})
+            item = yield store.get(filter=lambda it: it["kind"] == "y")
+            return item["v"]
+
+        assert env.run_process(proc()) == 2
+        assert len(store) == 1
+
+    def test_len_reflects_items(self, env):
+        store = Store(env)
+
+        def proc():
+            yield store.put(1)
+            yield store.put(2)
+
+        env.run_process(proc())
+        assert len(store) == 2
+
+
+class TestPriorityStore:
+    def test_items_come_out_smallest_first(self, env):
+        store = PriorityStore(env)
+
+        def proc():
+            for priority in (5, 1, 3):
+                yield store.put((priority, f"job{priority}"))
+            out = []
+            for _ in range(3):
+                item = yield store.get()
+                out.append(item[1])
+            return out
+
+        assert env.run_process(proc()) == ["job1", "job3", "job5"]
+
+    def test_ties_broken_by_insertion_order(self, env):
+        store = PriorityStore(env)
+
+        def proc():
+            yield store.put((1, "first"))
+            yield store.put((1, "second"))
+            a = yield store.get()
+            b = yield store.get()
+            return [a[1], b[1]]
+
+        assert env.run_process(proc()) == ["first", "second"]
+
+    def test_filtered_get_unsupported(self, env):
+        store = PriorityStore(env)
+
+        def proc():
+            yield store.put((1, "x"))
+            yield store.get(filter=lambda item: True)
+
+        with pytest.raises(SimulationError):
+            env.run_process(proc())

@@ -1,0 +1,124 @@
+"""Tests for the wide-area topology model."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.topology import Link, Topology, TopologyNode
+
+
+@pytest.fixture
+def triangle() -> Topology:
+    topo = Topology()
+    for name in ("a", "b", "c"):
+        topo.add_node(name)
+    topo.add_link(Link("a", "b", latency_s=0.010, bandwidth_bps=1e9))
+    topo.add_link(Link("b", "c", latency_s=0.020, bandwidth_bps=1e9))
+    topo.add_link(Link("a", "c", latency_s=0.050, bandwidth_bps=1e9))
+    return topo
+
+
+class TestConstruction:
+    def test_add_node_by_name(self):
+        topo = Topology()
+        node = topo.add_node("site-1", kind="cluster")
+        assert isinstance(node, TopologyNode)
+        assert "site-1" in topo
+
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_node("x")
+        with pytest.raises(SimulationError):
+            topo.add_node("x")
+
+    def test_link_requires_known_endpoints(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(SimulationError):
+            topo.add_link(Link("a", "missing"))
+
+    def test_add_link_from_tuple(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        link = topo.add_link(("a", "b"), latency_s=0.1)
+        assert link.latency_s == 0.1
+        assert topo.link("a", "b").latency_s == 0.1
+
+    def test_len_counts_nodes(self, triangle):
+        assert len(triangle) == 3
+
+    def test_remove_node_drops_links(self, triangle):
+        triangle.remove_node("b")
+        assert "b" not in triangle
+        assert not triangle.has_path("a", "b")
+        # a and c remain connected directly.
+        assert triangle.has_path("a", "c")
+
+    def test_remove_unknown_node_raises(self, triangle):
+        with pytest.raises(SimulationError):
+            triangle.remove_node("zzz")
+
+    def test_remove_link(self, triangle):
+        triangle.remove_link("a", "c")
+        assert triangle.path_latency("a", "c") == pytest.approx(0.030)
+
+    def test_unknown_node_lookup_raises(self, triangle):
+        with pytest.raises(SimulationError):
+            triangle.node("nope")
+
+
+class TestPaths:
+    def test_shortest_path_prefers_low_latency(self, triangle):
+        # a->b->c costs 30 ms, direct a->c costs 50 ms.
+        assert triangle.shortest_path("a", "c") == ["a", "b", "c"]
+
+    def test_path_latency_sums_links(self, triangle):
+        assert triangle.path_latency("a", "c") == pytest.approx(0.030)
+
+    def test_no_path_raises(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        with pytest.raises(SimulationError):
+            topo.shortest_path("a", "b")
+
+    def test_transfer_time_includes_serialisation(self, triangle):
+        one_gb = 10 ** 9
+        time = triangle.path_transfer_time("a", "b", one_gb)
+        assert time == pytest.approx(0.010 + one_gb / 1e9)
+
+    def test_link_transfer_time_negative_size_rejected(self):
+        with pytest.raises(SimulationError):
+            Link("a", "b").transfer_time(-1)
+
+    def test_nearest_picks_lowest_latency_candidate(self, triangle):
+        assert triangle.nearest("a", ["b", "c"]) == "b"
+
+    def test_nearest_self_short_circuits(self, triangle):
+        assert triangle.nearest("a", ["a", "b"]) == "a"
+
+    def test_nearest_unreachable_candidates_ignored(self):
+        topo = Topology()
+        for name in ("a", "b", "island"):
+            topo.add_node(name)
+        topo.add_link(("a", "b"), latency_s=0.01)
+        assert topo.nearest("a", ["island", "b"]) == "b"
+        assert topo.nearest("a", ["island"]) is None
+
+
+class TestCannedTopologies:
+    def test_star(self):
+        topo = Topology.star("hub", ["l1", "l2", "l3"], latency_s=0.02)
+        assert len(topo) == 4
+        assert topo.path_latency("l1", "l2") == pytest.approx(0.04)
+
+    def test_line(self):
+        topo = Topology.line(["a", "b", "c", "d"], latency_s=0.01)
+        assert topo.path_latency("a", "d") == pytest.approx(0.03)
+
+    def test_full_mesh(self):
+        topo = Topology.full_mesh(["a", "b", "c"], latency_s=0.02)
+        for src in ("a", "b", "c"):
+            for dst in ("a", "b", "c"):
+                if src != dst:
+                    assert topo.path_latency(src, dst) == pytest.approx(0.02)
