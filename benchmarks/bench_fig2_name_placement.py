@@ -11,6 +11,28 @@ first because it never leaves the first forwarder.
 from _bench_utils import report
 
 from repro.analysis.experiments import run_fig2_name_placement
+from repro.analysis.sweep import run_sweep
+
+
+def test_fig2_seed_sweep_parallel(benchmark):
+    """Fig. 2 across seeds, sharded over processes by the sweep runner.
+
+    The figure's error bars come from repeating the experiment under
+    different seeds; the sweep runner fans the repetitions out across
+    workers while keeping the aggregate order (and thus the rendered
+    figure) deterministic.
+    """
+
+    def sweep():
+        return run_sweep(run_fig2_name_placement, seeds=[0, 1, 2, 3], workers=2)
+
+    run = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert [outcome.task.seed for outcome in run] == [0, 1, 2, 3]
+    for outcome in run:
+        result = outcome.value
+        assert 0 < result.data_manifest_latency_s < 1.0
+        assert result.cached_manifest_latency_s < result.data_manifest_latency_s
+    benchmark.extra_info["seeds"] = len(run)
 
 
 def test_fig2_name_based_placement(benchmark):

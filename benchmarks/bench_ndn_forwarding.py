@@ -7,7 +7,12 @@ They exist so regressions in the forwarding plane (which every LIDC operation
 crosses) are caught by the benchmark harness.
 """
 
-from repro.ndn.cs import ContentStore
+import itertools
+import time
+
+from repro.analysis.experiments import run_forwarding_exchange
+from repro.analysis.sweep import run_sweep
+from repro.ndn.cs import CachePolicy, ContentStore
 from repro.ndn.client import Consumer, Producer
 from repro.ndn.face import connect
 from repro.ndn.fib import Fib
@@ -69,6 +74,93 @@ def test_content_store_insert_and_find(benchmark):
 
     hits = benchmark(insert_and_find)
     assert hits == 500
+
+
+def _full_store(capacity: int, policy: CachePolicy) -> ContentStore:
+    cs = ContentStore(capacity=capacity, policy=policy)
+    for index in range(capacity):
+        cs.insert(Data(name=Name(f"/fill/{index}"), content=b"z"))
+    return cs
+
+
+def _eviction_cost_per_op(capacity: int, policy: CachePolicy, ops: int = 2_000) -> float:
+    """Seconds per insert-with-eviction into an already-full store.
+
+    Best-of-3 so a GC pause or scheduler hiccup during one measurement
+    (milliseconds total at 1k entries) cannot inflate the flatness ratio
+    asserted below on noisy CI runners.
+    """
+    cs = _full_store(capacity, policy)
+    best = float("inf")
+    for attempt in range(3):
+        start = time.perf_counter()
+        for index in range(ops):
+            cs.insert(Data(name=Name(f"/new/{attempt}/{index}"), content=b"z"))
+        best = min(best, time.perf_counter() - start)
+    assert cs.evictions == 3 * ops
+    return best / ops
+
+
+def test_content_store_eviction_flat_scaling(benchmark):
+    """Eviction cost must be flat in store size (O(1), not O(n)).
+
+    Inserting into a full store evicts once per insert; the per-op cost at
+    100k entries must stay within a small constant of the cost at 1k.  A
+    linear-scan eviction fails this by two orders of magnitude.
+    """
+    counter = itertools.count()
+    cs = _full_store(100_000, CachePolicy.LRU)
+
+    def insert_with_eviction():
+        cs.insert(Data(name=Name(f"/bench/{next(counter)}"), content=b"z"))
+
+    benchmark(insert_with_eviction)
+
+    for policy in (CachePolicy.LRU, CachePolicy.LFU, CachePolicy.FIFO):
+        small = _eviction_cost_per_op(1_000, policy)
+        large = _eviction_cost_per_op(100_000, policy)
+        ratio = large / small
+        benchmark.extra_info[f"eviction_cost_ratio_100k_vs_1k_{policy.value}"] = round(ratio, 2)
+        assert ratio < 8.0, (
+            f"{policy.value} eviction cost grew {ratio:.1f}x from 1k to 100k entries"
+        )
+
+
+def test_content_store_prefix_lookup_large_store(benchmark):
+    """can_be_prefix lookups descend the name tree instead of scanning."""
+    cs = ContentStore(capacity=50_000)
+    for index in range(50_000):
+        cs.insert(Data(name=Name(f"/obj/{index // 100}/{index}"), content=b"z"))
+    interests = [
+        Interest(name=Name(f"/obj/{bucket}"), can_be_prefix=True) for bucket in range(0, 500, 7)
+    ]
+
+    def run_lookups():
+        return sum(1 for interest in interests if cs.find(interest) is not None)
+
+    found = benchmark(run_lookups)
+    assert found == len(interests)
+
+
+def test_forwarding_exchange_sweep(benchmark):
+    """The two-forwarder exchange swept over a (policy, capacity) grid.
+
+    Exercises the parallel sweep runner end-to-end: the grid is sharded
+    across worker processes and aggregated in deterministic task order.
+    """
+    grid = {"cs_capacity": [0, 256], "cs_policy": ["lru", "fifo"], "repeats": [2]}
+
+    def sweep():
+        return run_sweep(run_forwarding_exchange, grid=grid, seeds=[0], workers=2)
+
+    run = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(run) == 4
+    for outcome in run:
+        assert outcome.value.received == outcome.value.requests
+    # Cached configurations answer every repeat from the edge content store.
+    cached = [o.value for o in run if dict(o.task.params)["cs_capacity"] > 0]
+    assert all(result.cs_hits >= result.items for result in cached)
+    benchmark.extra_info["grid_points"] = len(run)
 
 
 def test_two_hop_interest_data_exchange(benchmark):

@@ -7,12 +7,16 @@ paper-style tables the bench harness prints.
 """
 
 from repro.analysis.results import ResultTable, format_bytes, format_seconds
+from repro.analysis.sweep import SweepOutcome, SweepRun, SweepTask, expand_grid, run_sweep
 from repro.analysis.experiments import (
     Fig5Decomposition,
     OverlayChurnResult,
     PlacementComparison,
     CachingAblation,
     BaselineComparison,
+    ForwardingExchangeResult,
+    run_experiment,
+    run_forwarding_exchange,
     run_table1,
     run_fig2_name_placement,
     run_fig3_service_mapping,
@@ -27,6 +31,14 @@ __all__ = [
     "ResultTable",
     "format_bytes",
     "format_seconds",
+    "SweepTask",
+    "SweepOutcome",
+    "SweepRun",
+    "expand_grid",
+    "run_sweep",
+    "run_experiment",
+    "run_forwarding_exchange",
+    "ForwardingExchangeResult",
     "run_table1",
     "run_fig2_name_placement",
     "run_fig3_service_mapping",

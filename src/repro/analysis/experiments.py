@@ -29,6 +29,10 @@ from repro.core.workflow import GenomicsWorkflow, WorkflowReport, decompose
 from repro.genomics.runtime_model import TABLE1_ROWS, Table1Row, format_runtime
 
 __all__ = [
+    "EXPERIMENT_RUNNERS",
+    "run_experiment",
+    "ForwardingExchangeResult",
+    "run_forwarding_exchange",
     "Table1Result",
     "run_table1",
     "NamePlacementResult",
@@ -728,3 +732,106 @@ def run_baseline_comparison(seed: int = 0, cluster_count: int = 3,
         lidc_placements=lidc_placements,
         central_placements=controller.placement_counts(),
     )
+
+
+# ---------------------------------------------------------------------------
+# Forwarding-plane exchange (substrate microbenchmark workload)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ForwardingExchangeResult:
+    """Forwarder-table statistics after a consumer/producer exchange batch."""
+
+    items: int
+    repeats: int
+    received: int
+    cs_hits: int
+    cs_evictions: int
+    pit_aggregated: int
+
+    @property
+    def requests(self) -> int:
+        return self.items * self.repeats
+
+
+def run_forwarding_exchange(
+    seed: int = 0,
+    items: int = 50,
+    repeats: int = 1,
+    cs_capacity: int = 0,
+    cs_policy: str = "lru",
+) -> ForwardingExchangeResult:
+    """Drive Interest/Data exchanges through a two-forwarder chain.
+
+    A producer behind the ``origin`` forwarder publishes ``items`` objects;
+    a consumer at the ``edge`` forwarder requests each of them ``repeats``
+    times.  With a non-zero ``cs_capacity`` the repeats are answered by the
+    edge content store.  The result is deterministic in ``seed`` (the
+    workload itself is seed-free, but the signature conforms to the sweep
+    runner's ``fn(seed=..., **params)`` convention).
+    """
+    from repro.ndn.client import Consumer, Producer
+    from repro.ndn.face import connect
+    from repro.ndn.forwarder import Forwarder
+    from repro.ndn.routing import RoutingDaemon
+    from repro.sim.engine import Environment
+    from repro.sim.topology import Link
+
+    env = Environment()
+    edge = Forwarder(env, "edge", cs_capacity=cs_capacity, cs_policy=cs_policy)
+    origin = Forwarder(env, "origin", cs_capacity=cs_capacity, cs_policy=cs_policy)
+    face_a, face_b = connect(env, edge, origin, link=Link("e", "o", latency_s=0.001), label="e-o")
+    daemon_edge, daemon_origin = RoutingDaemon(edge), RoutingDaemon(origin)
+    RoutingDaemon.peer(daemon_edge, face_a, daemon_origin, face_b)
+    producer = Producer(env, origin, "/svc")
+    for index in range(items):
+        producer.publish(f"/svc/item-{index}", b"payload" * 10)
+    daemon_origin.announce("/svc")
+    consumer = Consumer(env, edge)
+    for _round in range(repeats):
+        events = [consumer.express_interest(f"/svc/item-{index}") for index in range(items)]
+        env.run(until=env.all_of(events))
+    return ForwardingExchangeResult(
+        items=items,
+        repeats=repeats,
+        received=consumer.data_received,
+        cs_hits=edge.cs.hits,
+        cs_evictions=edge.cs.evictions,
+        pit_aggregated=edge.pit.aggregated,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Experiment registry (sweep-runner entry points)
+# ---------------------------------------------------------------------------
+
+#: Experiment id -> module-level runner.  Every runner takes ``seed`` as a
+#: keyword argument, making the whole registry shardable by
+#: :func:`repro.analysis.sweep.run_sweep` out of the box.
+EXPERIMENT_RUNNERS = {
+    "table1": run_table1,
+    "fig2_name_placement": run_fig2_name_placement,
+    "fig3_service_mapping": run_fig3_service_mapping,
+    "fig5_workflow": run_fig5_workflow,
+    "overlay_churn": run_overlay_churn,
+    "placement_comparison": run_placement_comparison,
+    "caching_ablation": run_caching_ablation,
+    "baseline_comparison": run_baseline_comparison,
+    "forwarding_exchange": run_forwarding_exchange,
+}
+
+
+def run_experiment(experiment: str, seed: int = 0, **kwargs):
+    """Dispatch to a registered experiment runner by id.
+
+    A module-level (hence picklable) entry point: sweep workers can be handed
+    ``run_experiment`` with ``experiment`` as a grid axis to shard any mix of
+    experiments across processes.
+    """
+    try:
+        runner = EXPERIMENT_RUNNERS[experiment]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENT_RUNNERS))
+        raise KeyError(f"unknown experiment {experiment!r} (known: {known})") from None
+    return runner(seed=seed, **kwargs)

@@ -1,0 +1,177 @@
+"""Deterministic parameter-sweep runner for experiments and benchmarks.
+
+The paper's figures come from re-running the same experiment over a grid of
+``(seed, configuration)`` points.  This module shards such grids across a
+:class:`concurrent.futures.ProcessPoolExecutor` while keeping the output
+**bit-for-bit independent of the parallelism**.
+
+Determinism contract
+--------------------
+``run_sweep`` guarantees that its result depends only on ``(fn, grid,
+seeds)`` — never on ``workers``, scheduling order, or machine load — because:
+
+1. The task list is expanded eagerly in a fixed order: grid keys in the
+   order given, values in the order given (row-major product), seeds
+   outermost.  Every task carries its position as ``SweepTask.index``.
+2. Each task is self-contained: the worker calls ``fn(seed=..., **params)``
+   with only the task's own values, so a conforming ``fn`` (one that derives
+   all randomness from ``seed`` and shares no mutable state) produces the
+   same value no matter which process runs it, or when.
+3. Aggregation is ordered by ``index``, not by completion: the returned
+   outcomes are exactly the task-list order, so downstream statistics and
+   rendered tables are reproducible.
+
+Requirements on ``fn``: it must be picklable (a module-level function), and
+its return value must be picklable too.  ``workers=0`` runs every task inline
+in the calling process — same results, no pool — which is also the automatic
+fallback when only one task exists.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
+
+__all__ = [
+    "SweepTask",
+    "SweepOutcome",
+    "SweepRun",
+    "SweepError",
+    "expand_grid",
+    "run_sweep",
+]
+
+
+class SweepError(RuntimeError):
+    """A sweep task failed; the message names the task that did."""
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One point of the sweep: a seed plus one grid configuration."""
+
+    index: int
+    seed: int
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def kwargs(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def label(self) -> str:
+        """Human-readable point id, e.g. ``seed=1 capacity=64``."""
+        parts = [f"seed={self.seed}"] + [f"{k}={v!r}" for k, v in self.params]
+        return " ".join(parts)
+
+
+@dataclass
+class SweepOutcome:
+    """The value one task produced."""
+
+    task: SweepTask
+    value: Any
+
+
+@dataclass
+class SweepRun:
+    """All outcomes of a sweep, in task order."""
+
+    outcomes: list[SweepOutcome] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self) -> Iterator[SweepOutcome]:
+        return iter(self.outcomes)
+
+    def values(self) -> list[Any]:
+        return [outcome.value for outcome in self.outcomes]
+
+    def by_seed(self, seed: int) -> list[SweepOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.task.seed == seed]
+
+
+def expand_grid(grid: Optional[Mapping[str, Sequence[Any]]]) -> list[dict[str, Any]]:
+    """Row-major cartesian product of a parameter grid.
+
+    Key order and value order are preserved, so the expansion is
+    deterministic.  An empty or ``None`` grid expands to one empty
+    configuration (a seeds-only sweep).
+    """
+    if not grid:
+        return [{}]
+    keys = list(grid.keys())
+    return [dict(zip(keys, combo)) for combo in itertools.product(*(grid[k] for k in keys))]
+
+
+def build_tasks(
+    grid: Optional[Mapping[str, Sequence[Any]]],
+    seeds: Sequence[int],
+) -> list[SweepTask]:
+    """The full task list: seeds outermost, grid row-major within each seed."""
+    configs = expand_grid(grid)
+    tasks: list[SweepTask] = []
+    for seed in seeds:
+        for config in configs:
+            tasks.append(
+                SweepTask(index=len(tasks), seed=seed, params=tuple(config.items()))
+            )
+    return tasks
+
+
+def _run_task(fn: Callable[..., Any], task: SweepTask) -> SweepOutcome:
+    """Execute one task (runs inside a worker process; must stay top-level)."""
+    try:
+        value = fn(seed=task.seed, **task.kwargs())
+    except Exception as exc:
+        raise SweepError(f"sweep task [{task.label()}] failed: {exc!r}") from exc
+    return SweepOutcome(task=task, value=value)
+
+
+def run_sweep(
+    fn: Callable[..., Any],
+    grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    seeds: Sequence[int] = (0,),
+    workers: Optional[int] = None,
+) -> SweepRun:
+    """Run ``fn(seed=..., **params)`` over every ``(seed, config)`` point.
+
+    Parameters
+    ----------
+    fn:
+        Module-level callable; invoked once per task with the task's seed and
+        grid parameters as keyword arguments.
+    grid:
+        Parameter grid (name -> sequence of values); ``None`` sweeps seeds
+        only.
+    seeds:
+        Seeds to sweep (outermost loop of the task order).
+    workers:
+        Process count.  ``None`` picks ``min(task count, cpu count)``;
+        ``0`` or ``1`` runs serially in-process.  Any value yields the same
+        outcomes in the same order (see the module determinism contract).
+    """
+    tasks = build_tasks(grid, seeds)
+    if not tasks:
+        return SweepRun()
+    if workers is None:
+        workers = min(len(tasks), os.cpu_count() or 1)
+    if workers <= 1 or len(tasks) == 1:
+        return SweepRun(outcomes=[_run_task(fn, task) for task in tasks])
+    try:
+        # Fork keeps in-memory modules visible to workers, so sweep functions
+        # defined in already-imported (even non-installed) modules pickle by
+        # reference and resolve in the child.
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        context = multiprocessing.get_context()
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        # ``map`` yields results in submission order regardless of which
+        # worker finishes first — the ordered-aggregation half of the
+        # determinism contract.
+        outcomes = list(pool.map(partial(_run_task, fn), tasks, chunksize=1))
+    return SweepRun(outcomes=outcomes)

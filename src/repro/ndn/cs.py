@@ -5,7 +5,17 @@ mechanism behind the paper's future-work item on result caching: identical
 computation results published under the same name are answered from the cache
 without re-execution.
 
-Eviction policies: LRU (default), LFU and FIFO.
+Eviction policies: LRU (default), LFU and FIFO.  All three evict in O(1):
+
+* LRU/FIFO keep the entry dict in eviction order (``move_to_end`` on access
+  for LRU; arrival order for FIFO) and evict with ``popitem(last=False)``.
+* LFU keeps classic O(1) frequency buckets — one ordered dict per hit count,
+  each ordered by recency — and evicts the least-recent entry of the lowest
+  populated bucket.
+
+``can_be_prefix`` lookups and prefix erasure descend a shared
+:class:`~repro.ndn.nametree.NameTree` index instead of scanning every entry,
+so their cost is bounded by the matching subtree, not the store size.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from typing import Callable, Optional
 
 from repro.exceptions import NDNError
 from repro.ndn.name import Name
+from repro.ndn.nametree import NameTree, as_name
 from repro.ndn.packet import Data, Interest
 
 __all__ = ["CachePolicy", "ContentStore", "CsEntry"]
@@ -63,8 +74,22 @@ class ContentStore:
             raise NDNError(f"content store capacity must be non-negative, got {capacity}")
         self.capacity = capacity
         self.policy = CachePolicy(policy)
+        # Policy flags hoisted out of the hot paths: insert/find dispatch on
+        # plain attribute truthiness instead of enum comparisons.
+        self._is_lru = self.policy == CachePolicy.LRU
+        self._is_lfu = self.policy == CachePolicy.LFU
         self._clock = clock or (lambda: 0.0)
+        #: Entries in eviction order: recency for LRU, arrival for FIFO.
+        #: (LFU eviction order lives in the frequency buckets instead.)
         self._entries: "OrderedDict[Name, CsEntry]" = OrderedDict()
+        #: Prefix index over the same entries, for can_be_prefix lookups and
+        #: prefix erasure.  Built lazily on the first prefix operation so
+        #: exact-match-only workloads never pay for its maintenance, then
+        #: kept in sync incrementally.
+        self._index: Optional[NameTree] = None
+        #: LFU state: hit-count -> names at that count, each in recency order.
+        self._freq_buckets: dict[int, "OrderedDict[Name, None]"] = {}
+        self._min_freq = 0
         self.hits = 0
         self.misses = 0
         self.insertions = 0
@@ -74,7 +99,7 @@ class ContentStore:
         return len(self._entries)
 
     def __contains__(self, name: "Name | str") -> bool:
-        return Name(name) in self._entries
+        return as_name(name) in self._entries
 
     # -- insertion -----------------------------------------------------------
 
@@ -84,65 +109,121 @@ class ContentStore:
             return
         now = self._clock()
         name = data.name
-        if name in self._entries:
-            # Refresh the existing entry.
-            entry = self._entries.pop(name)
+        entries = self._entries
+        if name in entries:
+            entry = entries[name]
+            # Refresh the existing entry in place.  FIFO keeps the original
+            # arrival position: refreshing must not grant another trip through
+            # the queue, or FIFO silently degrades into LRU-on-write.
             entry.data = data
             entry.arrival_time = now
             entry.last_access = now
-            self._entries[name] = entry
+            if self._is_lru:
+                entries.move_to_end(name)
+            elif self._is_lfu:
+                self._freq_buckets[entry.hits].move_to_end(name)
+            # Capacity may have been lowered since this entry was cached;
+            # the refresh path must honour it too.
+            while len(entries) > self.capacity:
+                self._evict_one()
             return
-        while len(self._entries) >= self.capacity:
+        while len(entries) >= self.capacity:
             self._evict_one()
-        self._entries[name] = CsEntry(data=data, arrival_time=now, last_access=now)
+        entry = CsEntry(data=data, arrival_time=now, last_access=now)
+        entries[name] = entry
+        if self._index is not None:
+            self._index.set(name, entry)
+        if self._is_lfu:
+            self._freq_buckets.setdefault(0, OrderedDict())[name] = None
+            self._min_freq = 0
         self.insertions += 1
 
     def _evict_one(self) -> None:
         if not self._entries:
             return
-        if self.policy == CachePolicy.FIFO:
-            victim = next(iter(self._entries))
-        elif self.policy == CachePolicy.LRU:
-            victim = min(self._entries, key=lambda n: self._entries[n].last_access)
-        else:  # LFU
-            victim = min(
-                self._entries, key=lambda n: (self._entries[n].hits, self._entries[n].last_access)
-            )
-        del self._entries[victim]
+        if self._is_lfu:
+            victim = self._pop_lfu_victim()
+            del self._entries[victim]
+        else:  # LRU and FIFO both evict the front of the ordered dict
+            victim, _ = self._entries.popitem(last=False)
+        if self._index is not None:
+            self._index.remove(victim)
         self.evictions += 1
+
+    def _pop_lfu_victim(self) -> Name:
+        """Least-frequent (ties: least-recent) name, removed from its bucket."""
+        bucket = self._freq_buckets.get(self._min_freq)
+        if not bucket:
+            # Arbitrary removals (erase/clear of other entries) can stale the
+            # pointer; recompute it from the populated buckets.
+            self._min_freq = min(freq for freq, names in self._freq_buckets.items() if names)
+            bucket = self._freq_buckets[self._min_freq]
+        victim, _ = bucket.popitem(last=False)
+        if not bucket:
+            del self._freq_buckets[self._min_freq]
+        return victim
+
+    def _ensure_index(self) -> NameTree:
+        """The prefix index, built from the live entries on first use."""
+        if self._index is None:
+            self._index = NameTree()
+            for name, entry in self._entries.items():
+                self._index.set(name, entry)
+        return self._index
+
+    def _unindex(self, name: Name, entry: CsEntry) -> None:
+        """Remove bucket bookkeeping for an entry leaving outside eviction."""
+        if self._is_lfu:
+            bucket = self._freq_buckets.get(entry.hits)
+            if bucket is not None:
+                bucket.pop(name, None)
+                if not bucket:
+                    del self._freq_buckets[entry.hits]
 
     # -- lookup ----------------------------------------------------------------
 
     def find(self, interest: Interest) -> Optional[Data]:
         """Return cached Data satisfying ``interest``, or ``None``.
 
-        Exact-name lookups are O(1); prefix lookups scan the store and return
-        the entry with the smallest name (deterministic choice).
+        Exact-name lookups are O(1); prefix lookups descend the name-tree
+        index and return the canonically-smallest acceptable entry
+        (deterministic choice, identical to scanning for the minimum name).
         """
         now = self._clock()
+        name = interest.name
         if not interest.can_be_prefix:
-            entry = self._entries.get(interest.name)
-            if entry is not None and self._acceptable(entry, interest, now):
-                return self._hit(entry, now)
+            entry = self._entries.get(name)
+            if entry is None or not self._acceptable(entry, interest, now):
+                self.misses += 1
+                return None
+            return self._hit(entry, now, name)
+        item = self._ensure_index().first_under(
+            name,
+            lambda _name, entry: self._acceptable(entry, interest, now),
+        )
+        if item is None:
             self.misses += 1
             return None
-        candidates = [
-            entry
-            for name, entry in self._entries.items()
-            if interest.name.is_prefix_of(name) and self._acceptable(entry, interest, now)
-        ]
-        if not candidates:
-            self.misses += 1
-            return None
-        best = min(candidates, key=lambda e: e.name)
-        return self._hit(best, now)
+        return self._hit(item[1], now, item[0])
 
     def _acceptable(self, entry: CsEntry, interest: Interest, now: float) -> bool:
         if interest.must_be_fresh and not entry.is_fresh(now):
             return False
         return True
 
-    def _hit(self, entry: CsEntry, now: float) -> Data:
+    def _hit(self, entry: CsEntry, now: float, name: Name) -> Data:
+        if self._is_lru:
+            self._entries.move_to_end(name)
+        elif self._is_lfu:
+            # Promote to the next frequency bucket (appended = most recent).
+            bucket = self._freq_buckets.get(entry.hits)
+            if bucket is not None:
+                bucket.pop(name, None)
+                if not bucket:
+                    del self._freq_buckets[entry.hits]
+            self._freq_buckets.setdefault(entry.hits + 1, OrderedDict())[name] = None
+            if self._min_freq == entry.hits and entry.hits not in self._freq_buckets:
+                self._min_freq = entry.hits + 1
         entry.hits += 1
         entry.last_access = now
         self.hits += 1
@@ -152,14 +233,19 @@ class ContentStore:
 
     def erase(self, prefix: "Name | str") -> int:
         """Remove every entry under ``prefix``; returns the count removed."""
-        prefix = Name(prefix)
-        victims = [name for name in self._entries if prefix.is_prefix_of(name)]
-        for name in victims:
+        index = self._ensure_index()
+        victims = list(index.items_under(prefix))
+        for name, entry in victims:
             del self._entries[name]
+            index.remove(name)
+            self._unindex(name, entry)
         return len(victims)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._index = None
+        self._freq_buckets.clear()
+        self._min_freq = 0
 
     @property
     def hit_ratio(self) -> float:

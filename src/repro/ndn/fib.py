@@ -4,6 +4,9 @@ The FIB maps name prefixes to next-hop faces with costs.  Lookup is
 longest-prefix match over name components — the mechanism that lets
 ``/ndn/k8s/compute`` and ``/ndn/k8s/data`` route to different places while a
 bare ``/ndn/k8s`` route acts as a fallback.
+
+The trie itself lives in :mod:`repro.ndn.nametree` and is shared with the
+Content Store; this module specialises it to :class:`FibEntry` values.
 """
 
 from __future__ import annotations
@@ -12,7 +15,8 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.exceptions import NDNError
-from repro.ndn.name import Component, Name
+from repro.ndn.name import Name
+from repro.ndn.nametree import NameTree as _GenericNameTree, as_name
 
 __all__ = ["NextHop", "FibEntry", "NameTree", "Fib"]
 
@@ -50,91 +54,43 @@ class FibEntry:
         return self.nexthops[0] if self.nexthops else None
 
 
-class _TrieNode:
-    __slots__ = ("children", "entry")
-
-    def __init__(self) -> None:
-        self.children: dict[Component, _TrieNode] = {}
-        self.entry: Optional[FibEntry] = None
-
-
 class NameTree:
-    """A trie over name components holding :class:`FibEntry` objects."""
+    """A trie over name components holding :class:`FibEntry` objects.
+
+    A thin :class:`FibEntry`-typed facade over the generic
+    :class:`repro.ndn.nametree.NameTree`, kept for API (and import)
+    compatibility with earlier revisions.
+    """
+
+    __slots__ = ("_tree",)
 
     def __init__(self) -> None:
-        self._root = _TrieNode()
-        self._size = 0
+        self._tree = _GenericNameTree()
 
     def __len__(self) -> int:
-        return self._size
+        return len(self._tree)
 
     def insert(self, prefix: "Name | str") -> FibEntry:
         """Get-or-create the entry at ``prefix``."""
-        prefix = Name(prefix)
-        node = self._root
-        for comp in prefix:
-            node = node.children.setdefault(comp, _TrieNode())
-        if node.entry is None:
-            node.entry = FibEntry(prefix=prefix)
-            self._size += 1
-        return node.entry
+        return self._tree.setdefault(prefix, lambda name: FibEntry(prefix=name))
 
     def exact(self, prefix: "Name | str") -> Optional[FibEntry]:
         """The entry exactly at ``prefix``, if any."""
-        prefix = Name(prefix)
-        node = self._root
-        for comp in prefix:
-            node = node.children.get(comp)
-            if node is None:
-                return None
-        return node.entry
+        return self._tree.get(prefix)
 
     def longest_prefix_match(self, name: "Name | str") -> Optional[FibEntry]:
         """The deepest entry whose prefix is a prefix of ``name``."""
-        name = Name(name)
-        node = self._root
-        best = node.entry
-        for comp in name:
-            node = node.children.get(comp)
-            if node is None:
-                break
-            if node.entry is not None:
-                best = node.entry
-        return best
+        item = self._tree.longest_prefix_item(name)
+        return item[1] if item is not None else None
 
     def remove(self, prefix: "Name | str") -> bool:
         """Remove the entry at ``prefix`` (pruning empty branches)."""
-        prefix = Name(prefix)
-        path: list[tuple[_TrieNode, Component]] = []
-        node = self._root
-        for comp in prefix:
-            child = node.children.get(comp)
-            if child is None:
-                return False
-            path.append((node, comp))
-            node = child
-        if node.entry is None:
-            return False
-        node.entry = None
-        self._size -= 1
-        # Prune childless, entry-less nodes bottom-up.
-        for parent, comp in reversed(path):
-            child = parent.children[comp]
-            if child.entry is None and not child.children:
-                del parent.children[comp]
-            else:
-                break
-        return True
+        return self._tree.remove(prefix)
 
     def entries(self) -> Iterator[FibEntry]:
         """All entries, depth-first in canonical component order."""
-        stack = [self._root]
-        while stack:
-            node = stack.pop()
-            if node.entry is not None:
-                yield node.entry
-            for comp in sorted(node.children, reverse=True):
-                stack.append(node.children[comp])
+        for _name, entry in self._tree.items():
+            yield entry
 
 
 class Fib:
@@ -151,12 +107,13 @@ class Fib:
         """Register ``prefix`` towards ``face_id`` with the given cost."""
         if face_id < 0:
             raise NDNError(f"invalid face id {face_id}")
-        entry = self._tree.insert(prefix)
+        entry = self._tree.insert(as_name(prefix))
         entry.add_nexthop(face_id, cost)
         return entry
 
     def remove_route(self, prefix: "Name | str", face_id: int) -> bool:
         """Unregister one next hop; drops the entry when no hops remain."""
+        prefix = as_name(prefix)
         entry = self._tree.exact(prefix)
         if entry is None:
             return False

@@ -26,6 +26,7 @@ from repro.ndn.cs import CachePolicy, ContentStore
 from repro.ndn.face import Face, LocalFace, Packet
 from repro.ndn.fib import Fib
 from repro.ndn.name import Name
+from repro.ndn.nametree import as_name
 from repro.ndn.packet import Data, Interest, Nack, NackReason
 from repro.ndn.pit import PendingInterestTable
 from repro.ndn.strategy import Strategy, StrategyChoiceTable
@@ -109,13 +110,13 @@ class Forwarder:
         if face_id not in self._faces:
             raise NDNError(f"{self.name}: cannot register prefix on unknown face {face_id}")
         self.fib.add_route(prefix, face_id, cost)
-        self.tracer.record("fib", "register", prefix=str(Name(prefix)), face=face_id, cost=cost)
+        self.tracer.record("fib", "register", prefix=str(as_name(prefix)), face=face_id, cost=cost)
 
     def unregister_prefix(self, prefix: "Name | str", face: "Face | int") -> bool:
         face_id = face.face_id if isinstance(face, Face) else int(face)
         removed = self.fib.remove_route(prefix, face_id)
         if removed:
-            self.tracer.record("fib", "unregister", prefix=str(Name(prefix)), face=face_id)
+            self.tracer.record("fib", "unregister", prefix=str(as_name(prefix)), face=face_id)
         return removed
 
     def set_strategy(self, prefix: "Name | str", strategy: Strategy) -> None:

@@ -25,7 +25,7 @@ class Component:
     lengths compare lexicographically — the NDN canonical order.
     """
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_hash")
 
     def __init__(self, value: Union[str, bytes, "Component"]) -> None:
         if isinstance(value, Component):
@@ -40,6 +40,9 @@ class Component:
             raise NameError_(f"cannot build a component from {value!r}")
         if not self._value:
             raise NameError_("empty name component")
+        # Components key every trie level of the FIB/CS name tree; caching
+        # the hash keeps those dict descents off the bytes-hashing path.
+        self._hash = hash(self._value)
 
     @property
     def value(self) -> bytes:
@@ -79,7 +82,7 @@ class Component:
         return self._value < other._value
 
     def __hash__(self) -> int:
-        return hash(self._value)
+        return self._hash
 
     def __len__(self) -> int:
         return len(self._value)

@@ -97,6 +97,10 @@ class Interest:
             raise ValueError(f"interest lifetime must be positive, got {self.lifetime}")
         if not (0 <= self.hop_limit <= 255):
             raise ValueError(f"hop limit must be in [0, 255], got {self.hop_limit}")
+        # Lazily-cached wire form.  Packets are immutable once in flight
+        # (forwarding copies via ``replace``), so each instance encodes at
+        # most once no matter how many faces record its size.
+        self._wire: "bytes | None" = None
 
     # -- matching -----------------------------------------------------------------
 
@@ -113,6 +117,8 @@ class Interest:
     # -- wire encoding ---------------------------------------------------------------
 
     def encode(self) -> bytes:
+        if self._wire is not None:
+            return self._wire
         body = _encode_name(self.name)
         if self.can_be_prefix:
             body += encode_tlv(TlvTypes.CAN_BE_PREFIX, b"")
@@ -125,7 +131,8 @@ class Interest:
         body += encode_tlv(TlvTypes.HOP_LIMIT, bytes([self.hop_limit]))
         if self.application_parameters:
             body += encode_tlv(TlvTypes.APPLICATION_PARAMETERS, self.application_parameters)
-        return encode_tlv(TlvTypes.INTEREST, body)
+        self._wire = encode_tlv(TlvTypes.INTEREST, body)
+        return self._wire
 
     @classmethod
     def decode(cls, wire: bytes) -> "Interest":
@@ -192,6 +199,8 @@ class Data:
             self.name = Name(self.name)
         if isinstance(self.content, str):
             self.content = self.content.encode("utf-8")
+        # Lazily-cached wire form; invalidated by (re-)signing.
+        self._wire: "bytes | None" = None
 
     # -- signing ------------------------------------------------------------------
 
@@ -211,6 +220,7 @@ class Data:
         signer = signer or DigestSigner()
         self.signature_info = signer.signature_info()
         self.signature_value = signer.sign(self._signed_portion())
+        self._wire = None
         return self
 
     def verify(self, keychain: Optional[KeyChain] = None) -> bool:
@@ -227,6 +237,8 @@ class Data:
     # -- wire encoding --------------------------------------------------------------
 
     def encode(self) -> bytes:
+        if self._wire is not None:
+            return self._wire
         if not self.is_signed:
             self.sign()
         body = self._signed_portion()
@@ -239,7 +251,8 @@ class Data:
             sig_info_body += encode_tlv(TlvTypes.KEY_LOCATOR, _encode_name(info.key_locator))
         body += encode_tlv(TlvTypes.SIGNATURE_INFO, sig_info_body)
         body += encode_tlv(TlvTypes.SIGNATURE_VALUE, self.signature_value)
-        return encode_tlv(TlvTypes.DATA, body)
+        self._wire = encode_tlv(TlvTypes.DATA, body)
+        return self._wire
 
     @classmethod
     def decode(cls, wire: bytes) -> "Data":
@@ -311,14 +324,20 @@ class Nack:
     interest: Interest
     reason: int = NackReason.NONE
 
+    def __post_init__(self) -> None:
+        self._wire: "bytes | None" = None
+
     @property
     def name(self) -> Name:
         return self.interest.name
 
     def encode(self) -> bytes:
+        if self._wire is not None:
+            return self._wire
         body = encode_tlv(TlvTypes.NACK_REASON, encode_nonneg_int(self.reason))
         body += self.interest.encode()
-        return encode_tlv(TlvTypes.NACK, body)
+        self._wire = encode_tlv(TlvTypes.NACK, body)
+        return self._wire
 
     @classmethod
     def decode(cls, wire: bytes) -> "Nack":

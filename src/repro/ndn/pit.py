@@ -3,10 +3,19 @@
 The PIT records which faces asked for which names so that returning Data can
 be sent back along the reverse path, and so that identical in-flight requests
 are aggregated (one upstream transmission serves many downstream consumers).
+
+Two hot paths avoid scanning the table:
+
+* ``expire()`` pops a lazy min-heap of record expiries, so the common case
+  (nothing expired) is a single peek instead of an O(n) sweep per packet.
+* ``satisfy()``/``find_matching()`` probe the entry dict once per prefix of
+  the Data name (exact key plus each ``can_be_prefix`` prefix key) instead of
+  testing every pending entry.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
@@ -69,6 +78,11 @@ class PendingInterestTable:
     def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
         self._clock = clock or (lambda: 0.0)
         self._entries: dict[tuple[Name, bool], PitEntry] = {}
+        #: Lazy expiry heap of (when, seq, key).  Keys may be stale (entry
+        #: satisfied/removed or lifetime extended); ``expire()`` revalidates
+        #: against the live entry before dropping anything.
+        self._expiry_heap: list[tuple[float, int, tuple[Name, bool]]] = []
+        self._heap_seq = 0
         self.aggregated = 0
         self.satisfied = 0
         self.expired = 0
@@ -78,6 +92,10 @@ class PendingInterestTable:
 
     def _key(self, interest: Interest) -> tuple[Name, bool]:
         return (interest.name, interest.can_be_prefix)
+
+    def _push_expiry(self, key: tuple[Name, bool], when: float) -> None:
+        heapq.heappush(self._expiry_heap, (when, self._heap_seq, key))
+        self._heap_seq += 1
 
     # -- Interest path -------------------------------------------------------
 
@@ -99,6 +117,7 @@ class PendingInterestTable:
             self.aggregated += 1
         entry.in_records[in_face_id] = InRecord(face_id=in_face_id, nonce=interest.nonce, expiry=expiry)
         entry.nonces.add(interest.nonce)
+        self._push_expiry(key, expiry)
         return entry, is_new
 
     def is_duplicate_nonce(self, interest: Interest) -> bool:
@@ -108,27 +127,44 @@ class PendingInterestTable:
 
     def record_out(self, interest: Interest, out_face_id: int) -> None:
         """Record that the Interest was forwarded upstream on ``out_face_id``."""
-        entry = self._entries.get(self._key(interest))
+        key = self._key(interest)
+        entry = self._entries.get(key)
         if entry is None:
             return
         expiry = self._clock() + interest.lifetime
         entry.out_records[out_face_id] = OutRecord(
             face_id=out_face_id, nonce=interest.nonce, expiry=expiry
         )
+        self._push_expiry(key, expiry)
 
     # -- Data path -----------------------------------------------------------------
 
+    def _matching_keys(self, data: Data) -> list[tuple[Name, bool]]:
+        """Keys of entries ``data`` satisfies, probing one key per prefix.
+
+        An exact entry matches only under the full name; a prefix entry
+        matches under any leading prefix (including the full name and the
+        root).  Order is deterministic: exact first, then prefixes from
+        shortest to longest.
+        """
+        keys: list[tuple[Name, bool]] = []
+        exact_key = (data.name, False)
+        if exact_key in self._entries:
+            keys.append(exact_key)
+        for length in range(len(data.name) + 1):
+            key = (data.name.prefix(length), True)
+            if key in self._entries:
+                keys.append(key)
+        return keys
+
     def find_matching(self, data: Data) -> list[PitEntry]:
         """All PIT entries satisfied by ``data`` (exact and prefix entries)."""
-        return [entry for entry in self._entries.values() if entry.matches_data(data)]
+        return [self._entries[key] for key in self._matching_keys(data)]
 
     def satisfy(self, data: Data) -> list[int]:
         """Consume entries matched by ``data``; returns downstream face ids."""
         faces: list[int] = []
-        matched_keys = [
-            key for key, entry in self._entries.items() if entry.matches_data(data)
-        ]
-        for key in matched_keys:
+        for key in self._matching_keys(data):
             entry = self._entries.pop(key)
             self.satisfied += 1
             for face_id in entry.downstream_faces():
@@ -145,13 +181,30 @@ class PendingInterestTable:
     # -- maintenance ---------------------------------------------------------------
 
     def expire(self) -> list[PitEntry]:
-        """Drop entries whose every record has expired; returns them."""
+        """Drop entries whose every record has expired; returns them.
+
+        Costs O(1) when nothing is due.  Heap items are revalidated against
+        the live entry: satisfied/removed entries are skipped, and entries
+        whose lifetime was extended by a later record are re-queued at their
+        new expiry instead of being dropped early.
+        """
+        heap = self._expiry_heap
+        if not heap:
+            return []
         now = self._clock()
-        dead_keys = [key for key, entry in self._entries.items() if entry.expiry() <= now]
-        dead = []
-        for key in dead_keys:
-            dead.append(self._entries.pop(key))
-            self.expired += 1
+        dead: list[PitEntry] = []
+        while heap and heap[0][0] <= now:
+            _when, _seq, key = heapq.heappop(heap)
+            entry = self._entries.get(key)
+            if entry is None:
+                continue  # already satisfied or removed
+            actual = entry.expiry()
+            if actual <= now:
+                del self._entries[key]
+                dead.append(entry)
+                self.expired += 1
+            else:
+                self._push_expiry(key, actual)
         return dead
 
     def entries(self) -> Iterable[PitEntry]:

@@ -160,9 +160,12 @@ class Interruption(Event):
         proc = self.process
         if proc._value is not _PENDING_SENTINEL:
             return  # process already terminated
-        # Unsubscribe from whatever the process was waiting on.
+        # Unsubscribe from whatever the process was waiting on, and forget it:
+        # a stale target would make introspection (and a later re-interrupt)
+        # believe the process still waits on the abandoned event.
         if proc._target is not None and proc._resume in proc._target.callbacks:
             proc._target.callbacks.remove(proc._resume)
+        proc._target = None
         proc._resume(self)
 
 
@@ -226,12 +229,14 @@ class Process(Event):
                 self._value = stop.value
                 self._ok = True
                 self._triggered = True
+                self._target = None
                 env.schedule(self, priority=PRIORITY_NORMAL)
                 break
             except BaseException as exc:  # noqa: BLE001 - propagate into waiters
                 self._value = exc
                 self._ok = False
                 self._triggered = True
+                self._target = None
                 env.schedule(self, priority=PRIORITY_NORMAL)
                 break
 
@@ -273,6 +278,10 @@ class ConditionEvent(Event):
 
     __slots__ = ("events", "_results", "_remaining")
 
+    #: Whether an empty child set completes immediately (vacuous truth) or is
+    #: rejected at construction time.  Subclasses choose.
+    _empty_succeeds = True
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, name=type(self).__name__)
         self.events = list(events)
@@ -282,6 +291,10 @@ class ConditionEvent(Event):
         self._results: dict[Event, Any] = {}
         self._remaining = len(self.events)
         if not self.events:
+            if not self._empty_succeeds:
+                raise SimulationError(
+                    f"{type(self).__name__} of no events can never trigger"
+                )
             self.succeed({})
             return
         for ev in self.events:
@@ -299,6 +312,10 @@ class AllOf(ConditionEvent):
 
     The value is a dict mapping each child event to its value.  Fails as soon
     as any child fails.
+
+    ``AllOf([])`` succeeds immediately with ``{}`` — "all of nothing" is
+    vacuously true, mirroring :func:`all`.  Contrast :class:`AnyOf`, where an
+    empty set can never trigger and is rejected at construction time.
     """
 
     __slots__ = ()
@@ -320,9 +337,15 @@ class AnyOf(ConditionEvent):
 
     The value is a dict with the single completed event.  Fails if the first
     child to complete failed.
+
+    ``AnyOf([])`` raises :class:`SimulationError`: with no children the event
+    can never semantically complete, and silently succeeding with ``{}`` (the
+    old behaviour) deadlocks callers that expect at least one result.
     """
 
     __slots__ = ()
+
+    _empty_succeeds = False
 
     def _child_done(self, event: Event) -> None:
         if self._triggered:

@@ -1,0 +1,103 @@
+"""Tests for the deterministic parameter-sweep runner."""
+
+import random
+
+import pytest
+
+from repro.analysis.sweep import (
+    SweepError,
+    SweepTask,
+    build_tasks,
+    expand_grid,
+    run_sweep,
+)
+
+
+# Sweep functions must be module-level so worker processes can unpickle them.
+
+
+def _echo(seed: int = 0, **params):
+    return {"seed": seed, **params}
+
+
+def _seeded_random(seed: int = 0, scale: float = 1.0):
+    return random.Random(seed).random() * scale
+
+
+def _fail_on_b(seed: int = 0, letter: str = "a"):
+    if letter == "b":
+        raise ValueError("b is bad")
+    return letter
+
+
+class TestGridExpansion:
+    def test_empty_grid_is_one_empty_config(self):
+        assert expand_grid(None) == [{}]
+        assert expand_grid({}) == [{}]
+
+    def test_row_major_order_preserves_key_and_value_order(self):
+        configs = expand_grid({"x": [1, 2], "y": ["a", "b"]})
+        assert configs == [
+            {"x": 1, "y": "a"},
+            {"x": 1, "y": "b"},
+            {"x": 2, "y": "a"},
+            {"x": 2, "y": "b"},
+        ]
+
+    def test_build_tasks_seeds_outermost_with_sequential_indexes(self):
+        tasks = build_tasks({"x": [1, 2]}, seeds=[7, 8])
+        assert [t.index for t in tasks] == [0, 1, 2, 3]
+        assert [(t.seed, dict(t.params)["x"]) for t in tasks] == [
+            (7, 1), (7, 2), (8, 1), (8, 2),
+        ]
+
+    def test_task_label_is_readable(self):
+        task = SweepTask(index=0, seed=3, params=(("cap", 64),))
+        assert task.label() == "seed=3 cap=64"
+
+
+class TestRunSweep:
+    def test_serial_sweep_collects_in_task_order(self):
+        run = run_sweep(_echo, grid={"x": [1, 2]}, seeds=[0, 1], workers=0)
+        assert len(run) == 4
+        assert run.values() == [
+            {"seed": 0, "x": 1},
+            {"seed": 0, "x": 2},
+            {"seed": 1, "x": 1},
+            {"seed": 1, "x": 2},
+        ]
+
+    def test_parallel_results_identical_to_serial(self):
+        """The determinism contract: worker count never changes the output."""
+        kwargs = {"grid": {"scale": [1.0, 2.0]}, "seeds": [0, 1, 2]}
+        serial = run_sweep(_seeded_random, workers=0, **kwargs)
+        parallel = run_sweep(_seeded_random, workers=3, **kwargs)
+        assert serial.values() == parallel.values()
+        assert [o.task for o in serial] == [o.task for o in parallel]
+
+    def test_seeds_only_sweep(self):
+        run = run_sweep(_seeded_random, seeds=[5, 5, 6], workers=0)
+        values = run.values()
+        assert values[0] == values[1]  # same seed, same value
+        assert values[0] != values[2]
+
+    def test_by_seed_filter(self):
+        run = run_sweep(_echo, grid={"x": [1, 2]}, seeds=[0, 1], workers=0)
+        assert [o.value["x"] for o in run.by_seed(1)] == [1, 2]
+
+    def test_empty_seed_list_yields_empty_run(self):
+        run = run_sweep(_echo, seeds=[], workers=0)
+        assert len(run) == 0
+        assert run.values() == []
+
+    def test_single_task_avoids_pool(self):
+        run = run_sweep(_echo, seeds=[0], workers=8)
+        assert run.values() == [{"seed": 0}]
+
+    def test_worker_failure_raises_sweep_error_naming_the_task(self):
+        with pytest.raises(SweepError, match=r"letter='b'"):
+            run_sweep(_fail_on_b, grid={"letter": ["a", "b"]}, seeds=[0], workers=0)
+
+    def test_worker_failure_propagates_from_pool(self):
+        with pytest.raises(SweepError, match=r"letter='b'"):
+            run_sweep(_fail_on_b, grid={"letter": ["a", "b", "c", "d"]}, seeds=[0], workers=2)

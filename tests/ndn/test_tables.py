@@ -117,6 +117,230 @@ class TestContentStore:
         assert 0 < stats["hit_ratio"] <= 1
 
 
+class TestContentStoreRegressions:
+    def test_fifo_refresh_keeps_arrival_position(self):
+        """Refreshing an entry must not grant it another trip through the
+        FIFO queue (the old pop-and-reappend silently made FIFO behave like
+        LRU-on-write)."""
+        cs = ContentStore(capacity=2, policy=CachePolicy.FIFO)
+        cs.insert(make_data("/a"))
+        cs.insert(make_data("/b"))
+        cs.insert(make_data("/a"))  # refresh: /a keeps its original position
+        cs.insert(make_data("/c"))  # evicts /a (oldest arrival), not /b
+        assert "/a" not in cs
+        assert "/b" in cs and "/c" in cs
+
+    def test_lru_refresh_does_update_recency(self):
+        cs = ContentStore(capacity=2, policy=CachePolicy.LRU)
+        cs.insert(make_data("/a"))
+        cs.insert(make_data("/b"))
+        cs.insert(make_data("/a"))  # refresh counts as use under LRU
+        cs.insert(make_data("/c"))  # evicts /b
+        assert "/a" in cs and "/c" in cs and "/b" not in cs
+
+    @pytest.mark.parametrize("policy", list(CachePolicy))
+    def test_refresh_honours_lowered_capacity(self, policy):
+        """Refreshing an existing name must evict when the store is over a
+        capacity that was lowered after the entries were cached."""
+        cs = ContentStore(capacity=4, policy=policy)
+        for uri in ("/a", "/b", "/c", "/d"):
+            cs.insert(make_data(uri))
+        cs.capacity = 2
+        cs.insert(make_data("/a"))  # refresh path
+        assert len(cs) == 2
+        assert cs.evictions == 2
+
+    def test_new_insert_honours_lowered_capacity(self):
+        cs = ContentStore(capacity=4)
+        for uri in ("/a", "/b", "/c", "/d"):
+            cs.insert(make_data(uri))
+        cs.capacity = 2
+        cs.insert(make_data("/e"))
+        assert len(cs) == 2
+
+    def test_prefix_find_after_eviction_does_not_resurrect(self):
+        cs = ContentStore(capacity=1, policy=CachePolicy.FIFO)
+        cs.insert(make_data("/a/1"))
+        cs.insert(make_data("/a/2"))  # evicts /a/1
+        found = cs.find(Interest(name=Name("/a"), can_be_prefix=True))
+        assert found.name == Name("/a/2")
+
+    def test_prefix_find_after_erase(self):
+        cs = ContentStore(capacity=10)
+        cs.insert(make_data("/a/1"))
+        cs.insert(make_data("/a/2"))
+        cs.insert(make_data("/b/1"))
+        cs.erase("/a")
+        assert cs.find(Interest(name=Name("/a"), can_be_prefix=True)) is None
+        assert cs.find(Interest(name=Name("/b"), can_be_prefix=True)) is not None
+
+    def test_clear_resets_prefix_index(self):
+        cs = ContentStore(capacity=10)
+        cs.insert(make_data("/a/1"))
+        cs.clear()
+        assert cs.find(Interest(name=Name("/a"), can_be_prefix=True)) is None
+        cs.insert(make_data("/a/2"))
+        found = cs.find(Interest(name=Name("/a"), can_be_prefix=True))
+        assert found.name == Name("/a/2")
+
+    def test_lfu_erase_then_evict_recomputes_min_bucket(self):
+        cs = ContentStore(capacity=3, policy=CachePolicy.LFU)
+        cs.insert(make_data("/a"))
+        cs.insert(make_data("/b"))
+        cs.insert(make_data("/c"))
+        for _ in range(2):
+            cs.find(Interest(name=Name("/a")))
+        cs.find(Interest(name=Name("/b")))
+        cs.erase("/c")  # empties the 0-hit bucket out-of-band
+        cs.insert(make_data("/d"))
+        cs.insert(make_data("/e"))  # store full again: evicts /d (0 hits)
+        assert "/d" not in cs
+        assert "/a" in cs and "/b" in cs and "/e" in cs
+
+
+class TestEvictionAccounting:
+    @pytest.mark.parametrize("policy", list(CachePolicy))
+    def test_counters_across_policies(self, policy):
+        cs = ContentStore(capacity=2, policy=policy)
+        for uri in ("/a", "/b", "/c", "/d"):
+            cs.insert(make_data(uri))
+        assert cs.insertions == 4
+        assert cs.evictions == 2
+        assert len(cs) == 2
+        stats = cs.stats()
+        assert stats["insertions"] == 4.0
+        assert stats["evictions"] == 2.0
+        assert stats["size"] == 2.0
+
+    @pytest.mark.parametrize("policy", list(CachePolicy))
+    def test_refresh_is_not_an_insertion(self, policy):
+        cs = ContentStore(capacity=4, policy=policy)
+        cs.insert(make_data("/a"))
+        cs.insert(make_data("/a"))
+        assert cs.insertions == 1
+        assert cs.evictions == 0
+
+    @pytest.mark.parametrize("policy", list(CachePolicy))
+    def test_capacity_zero_store_counts_nothing(self, policy):
+        cs = ContentStore(capacity=0, policy=policy)
+        cs.insert(make_data("/a"))
+        assert len(cs) == 0
+        assert cs.insertions == 0
+        assert cs.evictions == 0
+        assert cs.find(Interest(name=Name("/a"))) is None
+        assert cs.misses == 1
+        assert cs.hit_ratio == 0.0
+
+    def test_hit_ratio_tracks_hits_and_misses(self):
+        cs = ContentStore(capacity=4)
+        cs.insert(make_data("/a"))
+        assert cs.find(Interest(name=Name("/a"))) is not None
+        assert cs.find(Interest(name=Name("/b"))) is None
+        assert cs.hits == 1 and cs.misses == 1
+        assert cs.hit_ratio == 0.5
+
+    def test_lru_find_updates_recency_without_clock(self):
+        """The O(1) LRU path orders by access sequence, not wall clock."""
+        cs = ContentStore(capacity=2, policy=CachePolicy.LRU)
+        cs.insert(make_data("/a"))
+        cs.insert(make_data("/b"))
+        cs.find(Interest(name=Name("/a")))  # /b is now least recent
+        cs.insert(make_data("/c"))
+        assert "/b" not in cs
+        assert "/a" in cs and "/c" in cs
+
+    def test_lru_prefix_find_updates_recency(self):
+        cs = ContentStore(capacity=2, policy=CachePolicy.LRU)
+        cs.insert(make_data("/a/1"))
+        cs.insert(make_data("/b/1"))
+        cs.find(Interest(name=Name("/a"), can_be_prefix=True))
+        cs.insert(make_data("/c/1"))
+        assert "/b/1" not in cs
+        assert "/a/1" in cs
+
+
+class _ReferencePolicyModel:
+    """A deliberately-naive min-scan model of the eviction policies.
+
+    Mirrors the documented semantics (FIFO by arrival, LRU by last access
+    including refreshes, LFU by (hits, last access)) with O(n) scans; the
+    property test below checks the O(1) implementation against it.
+    """
+
+    def __init__(self, capacity: int, policy: CachePolicy) -> None:
+        self.capacity = capacity
+        self.policy = policy
+        self.entries: dict[str, dict] = {}
+        self.seq = 0
+        self.hits = self.misses = self.insertions = self.evictions = 0
+
+    def insert(self, uri: str, now: float) -> None:
+        if self.capacity == 0:
+            return
+        if uri in self.entries:
+            self.entries[uri]["last_access"] = now
+            while len(self.entries) > self.capacity:
+                self._evict()
+            return
+        while len(self.entries) >= self.capacity:
+            self._evict()
+        self.entries[uri] = {"hits": 0, "last_access": now, "arrival_seq": self.seq}
+        self.seq += 1
+        self.insertions += 1
+
+    def find(self, uri: str, now: float) -> bool:
+        entry = self.entries.get(uri)
+        if entry is None:
+            self.misses += 1
+            return False
+        entry["hits"] += 1
+        entry["last_access"] = now
+        self.hits += 1
+        return True
+
+    def _evict(self) -> None:
+        if not self.entries:
+            return
+        if self.policy == CachePolicy.FIFO:
+            victim = min(self.entries, key=lambda u: self.entries[u]["arrival_seq"])
+        elif self.policy == CachePolicy.LRU:
+            victim = min(self.entries, key=lambda u: self.entries[u]["last_access"])
+        else:
+            victim = min(
+                self.entries,
+                key=lambda u: (self.entries[u]["hits"], self.entries[u]["last_access"]),
+            )
+        del self.entries[victim]
+        self.evictions += 1
+
+
+_ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "find"]), st.sampled_from("abcde")),
+    max_size=40,
+)
+
+
+class TestCachePolicyProperties:
+    @pytest.mark.parametrize("policy", list(CachePolicy))
+    @given(ops=_ops)
+    def test_o1_store_matches_reference_model(self, policy, ops):
+        clock = {"now": 0.0}
+        cs = ContentStore(capacity=3, policy=policy, clock=lambda: clock["now"])
+        model = _ReferencePolicyModel(capacity=3, policy=policy)
+        for op, letter in ops:
+            clock["now"] += 1.0  # unique timestamps: no tie-break ambiguity
+            uri = f"/{letter}"
+            if op == "insert":
+                cs.insert(make_data(uri))
+                model.insert(uri, clock["now"])
+            else:
+                found = cs.find(Interest(name=Name(uri))) is not None
+                assert found == model.find(uri, clock["now"])
+        assert {str(n) for n in (f"/{c}" for c in "abcde") if n in cs} == set(model.entries)
+        assert (cs.hits, cs.misses) == (model.hits, model.misses)
+        assert (cs.insertions, cs.evictions) == (model.insertions, model.evictions)
+
+
 class TestPit:
     def test_insert_creates_entry(self):
         pit = PendingInterestTable()
@@ -190,6 +414,67 @@ class TestPit:
         pit.insert(Interest(name=Name("/a")), in_face_id=1)
         stats = pit.stats()
         assert stats["size"] == 1
+
+    def test_record_out_extends_entry_lifetime(self):
+        """A later out-record pushes the whole entry's expiry out; the lazy
+        heap must revalidate instead of dropping at the first deadline."""
+        clock = {"now": 0.0}
+        pit = PendingInterestTable(clock=lambda: clock["now"])
+        interest = Interest(name=Name("/a"), lifetime=1.0)
+        pit.insert(interest, in_face_id=1)
+        clock["now"] = 0.8
+        pit.record_out(interest, out_face_id=9)  # expiry now 1.8
+        clock["now"] = 1.2
+        assert pit.expire() == []  # first deadline (1.0) passed, entry extended
+        assert len(pit) == 1
+        clock["now"] = 2.0
+        expired = pit.expire()
+        assert len(expired) == 1
+        assert pit.expired == 1
+        assert len(pit) == 0
+
+    def test_expire_after_satisfy_skips_stale_heap_entries(self):
+        clock = {"now": 0.0}
+        pit = PendingInterestTable(clock=lambda: clock["now"])
+        pit.insert(Interest(name=Name("/a"), lifetime=1.0), in_face_id=1)
+        pit.satisfy(make_data("/a"))
+        clock["now"] = 5.0
+        assert pit.expire() == []
+        assert pit.expired == 0
+
+    def test_reinserted_name_not_expired_by_stale_deadline(self):
+        clock = {"now": 0.0}
+        pit = PendingInterestTable(clock=lambda: clock["now"])
+        first = Interest(name=Name("/a"), lifetime=1.0)
+        pit.insert(first, in_face_id=1)
+        pit.satisfy(make_data("/a"))
+        clock["now"] = 1.5  # first deadline has passed
+        second = Interest(name=Name("/a"), lifetime=10.0)
+        pit.insert(second, in_face_id=2)
+        assert pit.expire() == []  # stale heap item must not kill the new entry
+        assert len(pit) == 1
+
+    def test_satisfy_matches_entries_at_every_prefix_depth(self):
+        pit = PendingInterestTable()
+        pit.insert(Interest(name=Name("/"), can_be_prefix=True), in_face_id=1)
+        pit.insert(Interest(name=Name("/a"), can_be_prefix=True), in_face_id=2)
+        pit.insert(Interest(name=Name("/a/b/c"), can_be_prefix=True), in_face_id=3)
+        pit.insert(Interest(name=Name("/a/b/c")), in_face_id=4)  # exact
+        pit.insert(Interest(name=Name("/a/x"), can_be_prefix=True), in_face_id=5)
+        faces = pit.satisfy(make_data("/a/b/c"))
+        assert sorted(faces) == [1, 2, 3, 4]
+        assert len(pit) == 1  # only the /a/x prefix entry remains
+
+    def test_find_matching_agrees_with_matches_data(self):
+        pit = PendingInterestTable()
+        pit.insert(Interest(name=Name("/a"), can_be_prefix=True), in_face_id=1)
+        pit.insert(Interest(name=Name("/a/b")), in_face_id=2)
+        pit.insert(Interest(name=Name("/other")), in_face_id=3)
+        data = make_data("/a/b")
+        matched = pit.find_matching(data)
+        assert {str(e.name) for e in matched} == {"/a", "/a/b"}
+        for entry in pit.entries():
+            assert entry.matches_data(data) == (entry in matched)
 
 
 class TestNameTreeAndFib:

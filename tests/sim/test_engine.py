@@ -197,6 +197,37 @@ class TestProcesses:
         result = env.run(until=target)
         assert result == ("interrupted", "stop now", 2.0)
 
+    def test_interrupt_clears_stale_target(self, env):
+        """After an interrupt, the process must not appear to still be
+        waiting on the abandoned event."""
+        seen = {}
+
+        def victim():
+            try:
+                yield env.timeout(100.0)
+            except ProcessInterrupt:
+                seen["target_during_handler"] = target.target
+                yield env.timeout(1.0)
+            return "done"
+
+        def interrupter():
+            yield env.timeout(2.0)
+            target.interrupt("stop")
+
+        target = env.process(victim())
+        env.process(interrupter())
+        env.run(until=target)
+        assert seen["target_during_handler"] is None
+        assert target.target is None  # finished processes wait on nothing
+
+    def test_completed_process_has_no_target(self, env):
+        def proc():
+            yield env.timeout(1.0)
+
+        process = env.process(proc())
+        env.run()
+        assert process.target is None
+
     def test_interrupting_dead_process_raises(self, env):
         def proc():
             yield env.timeout(1.0)
@@ -254,6 +285,15 @@ class TestConditionEvents:
             return results
 
         assert env.run_process(proc()) == {}
+
+    def test_any_of_empty_raises(self, env):
+        """AnyOf of nothing can never semantically complete: creating one is
+        an error rather than a silent instant {} success (contrast AllOf,
+        whose empty form is vacuously true)."""
+        with pytest.raises(SimulationError):
+            AnyOf(env, [])
+        with pytest.raises(SimulationError):
+            env.any_of([])
 
     def test_all_of_fails_if_any_child_fails(self, env):
         def failing():
