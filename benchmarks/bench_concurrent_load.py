@@ -1,0 +1,53 @@
+"""Benchmark ``concurrent_load`` — N in-flight JobHandles through one client.
+
+The session-based client API (``LIDCClient.submit_many``) drives many
+computations concurrently through a single Consumer: each submission returns a
+:class:`~repro.core.client.JobHandle` immediately and a background process
+tracks its status with exponentially backed-off status Interests.  Expected
+shape: the concurrent makespan is bounded by the slowest job (plus detection
+overhead), so it beats sequential submission of the same batch by roughly the
+batch size.
+"""
+
+from _bench_utils import report
+
+from repro.analysis.experiments import run_concurrent_load
+
+
+def test_submit_many_twenty_jobs_one_client(benchmark):
+    result = benchmark.pedantic(
+        run_concurrent_load,
+        kwargs={"seed": 0, "jobs": 20, "job_duration_s": 120.0, "poll_interval_s": 10.0},
+        rounds=1, iterations=1,
+    )
+    report(result.to_table())
+
+    assert result.jobs >= 20
+    assert result.concurrent_completed == result.jobs
+    assert result.sequential_completed == result.jobs
+    # Acceptance: >= 20 concurrent jobs through one client with a simulated
+    # makespan strictly below sequential submission of the same jobs.
+    assert result.concurrent_makespan_s < result.sequential_makespan_s
+    assert result.max_in_flight >= 20
+    # The whole batch is bounded by the slowest job plus detection overhead.
+    assert result.concurrent_makespan_s < 2 * result.job_duration_s
+    assert result.speedup > 10
+    # Consumer book-keeping drains completely.
+    assert result.pending_after == 0
+
+    benchmark.extra_info["speedup"] = round(result.speedup, 1)
+    benchmark.extra_info["concurrent_makespan_s"] = round(result.concurrent_makespan_s, 1)
+    benchmark.extra_info["sequential_makespan_s"] = round(result.sequential_makespan_s, 1)
+
+
+def test_concurrent_load_spreads_across_clusters(benchmark):
+    result = benchmark.pedantic(
+        run_concurrent_load,
+        kwargs={"seed": 1, "jobs": 24, "job_duration_s": 90.0,
+                "poll_interval_s": 10.0, "cluster_count": 3},
+        rounds=1, iterations=1,
+    )
+    assert result.concurrent_completed == result.jobs
+    assert result.concurrent_makespan_s < result.sequential_makespan_s
+    assert len(result.clusters_used) >= 2  # capacity NACKs spill work over
+    benchmark.extra_info["clusters_used"] = dict(sorted(result.clusters_used.items()))

@@ -32,7 +32,7 @@ def _run_with_strategy(strategy, jobs: int = 9, seed: int = 0) -> Counter:
     def submit_all():
         submissions = []
         for index in range(jobs):
-            submission = yield from client.submit(
+            submission = yield from client.submit_interest(
                 ComputeRequest(app="SLEEP", cpu=2, memory_gb=2,
                                params={"duration": "300", "idx": str(index)}))
             submissions.append(submission)

@@ -22,14 +22,27 @@ The package is organised as a set of substrates plus the LIDC core:
 Quickstart
 ----------
 
+``LIDCClient.submit`` opens a non-blocking job session and returns a
+:class:`~repro.core.client.JobHandle` immediately; ``handle.done`` is a
+simulation event carrying the final :class:`~repro.core.client.JobOutcome`:
+
 >>> from repro.core import LIDCTestbed, ComputeRequest
 >>> testbed = LIDCTestbed.single_cluster(seed=1)
 >>> client = testbed.client()
->>> job = client.submit(ComputeRequest(app="BLAST", cpu=2, memory_gb=4,
-...                                     dataset="SRR2931415"))
->>> result = client.wait(job)
->>> result.state
+>>> handle = client.submit(ComputeRequest(app="BLAST", cpu=2, memory_gb=4,
+...                                       dataset="SRR2931415", reference="HUMAN"))
+>>> outcome = testbed.run(until=handle.done)
+>>> handle.state
 <JobState.COMPLETED: 'Completed'>
+
+Many jobs run concurrently through one client:
+
+>>> handles = client.submit_many([request_a, request_b, request_c])
+>>> testbed.run(until=client.wait_all(handles))
+
+and a new application is a single declarative
+:class:`~repro.core.service.ServiceDefinition` registration —
+``testbed.register_service(...)`` — with no gateway edits.
 """
 
 from repro.version import __version__, __paper__

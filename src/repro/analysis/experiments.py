@@ -47,6 +47,8 @@ __all__ = [
     "run_placement_comparison",
     "CachingAblation",
     "run_caching_ablation",
+    "ConcurrentLoadResult",
+    "run_concurrent_load",
     "BaselineComparison",
     "run_baseline_comparison",
 ]
@@ -183,7 +185,7 @@ def run_fig2_name_placement(seed: int = 0) -> NamePlacementResult:
         payload_latency = testbed.env.now - start
 
         start = testbed.env.now
-        submission = yield from client.submit(
+        submission = yield from client.submit_interest(
             ComputeRequest(app="SLEEP", cpu=1, memory_gb=1, params={"duration": "5"})
         )
         ack_latency = testbed.env.now - start
@@ -588,19 +590,16 @@ def run_caching_ablation(seed: int = 0, repeats: int = 5,
         testbed = LIDCTestbed.single_cluster(seed=seed, enable_result_cache=enable_cache)
         client = testbed.client(poll_interval_s=10.0)
         latencies = []
-
-        def series():
-            for _ in range(repeats):
-                start = testbed.env.now
-                outcome = yield from client.run_workflow(
-                    request, poll_interval_s=10.0, fetch_result=False, unique=False
-                )
-                if not outcome.succeeded:
-                    raise RuntimeError(f"caching-ablation job failed: {outcome.error}")
-                latencies.append(testbed.env.now - start)
-            return latencies
-
-        testbed.run_process(series())
+        # Sequential handle sessions: each repeat must observe the previous
+        # one's published result for the cache to answer it.
+        for _ in range(repeats):
+            start = testbed.env.now
+            handle = client.submit(request, unique=False, fetch_result=False,
+                                   poll_interval_s=10.0)
+            outcome = testbed.run(until=handle.done)
+            if not outcome.succeeded:
+                raise RuntimeError(f"caching-ablation job failed: {outcome.error}")
+            latencies.append(testbed.env.now - start)
         cluster = next(iter(testbed.clusters.values()))
         edge_cs_hits = testbed.overlay.routers[CLIENT_EDGE].cs.hits
         hits = int(cluster.gateway.cache.hits) + int(edge_cs_hits)
@@ -615,6 +614,105 @@ def run_caching_ablation(seed: int = 0, repeats: int = 5,
         cold_latencies_s=cold_latencies,
         warm_latencies_s=warm_latencies[1:],
         cache_hits=hits,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Concurrent load through one client (session-based JobHandle API)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ConcurrentLoadResult:
+    """Makespan of N jobs driven concurrently vs sequentially by one client."""
+
+    jobs: int
+    job_duration_s: float
+    concurrent_makespan_s: float
+    sequential_makespan_s: float
+    concurrent_completed: int
+    sequential_completed: int
+    max_in_flight: int
+    pending_after: int
+    clusters_used: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.concurrent_makespan_s <= 0:
+            return float("inf")
+        return self.sequential_makespan_s / self.concurrent_makespan_s
+
+    def to_table(self) -> ResultTable:
+        table = ResultTable(
+            title="Concurrent job sessions — one client, N in-flight JobHandles",
+            columns=["submission mode", "jobs completed", "makespan", "max in flight"],
+        )
+        table.add_row("sequential (submit, wait, repeat)", self.sequential_completed,
+                      format_seconds(self.sequential_makespan_s), 1)
+        table.add_row("concurrent (submit_many)", self.concurrent_completed,
+                      format_seconds(self.concurrent_makespan_s), self.max_in_flight)
+        table.add_note(
+            f"concurrent sessions finish {self.speedup:,.1f}x sooner; "
+            f"{self.pending_after} pending Interests leaked after completion"
+        )
+        return table
+
+
+def run_concurrent_load(seed: int = 0, jobs: int = 20, job_duration_s: float = 120.0,
+                        poll_interval_s: float = 10.0,
+                        cluster_count: int = 1) -> ConcurrentLoadResult:
+    """Submit the same batch of jobs sequentially and concurrently.
+
+    The concurrent half drives every job as an in-flight
+    :class:`~repro.core.client.JobHandle` on a single client (one Consumer,
+    one access router), which is the workload the old blocking poll-loop
+    API could not express.
+    """
+    def build() -> LIDCTestbed:
+        if cluster_count <= 1:
+            return LIDCTestbed.single_cluster(
+                seed=seed, node_count=4, node_cpu=8, node_memory="32Gi")
+        return LIDCTestbed.multi_cluster(
+            cluster_count, seed=seed, node_count=2, node_cpu=8, node_memory="32Gi")
+
+    def request(index: int) -> ComputeRequest:
+        return ComputeRequest(app="SLEEP", cpu=1, memory_gb=1,
+                              params={"duration": f"{job_duration_s:g}", "idx": str(index)})
+
+    # -- sequential baseline ---------------------------------------------------
+    sequential_bed = build()
+    sequential_client = sequential_bed.client(poll_interval_s=poll_interval_s)
+    start = sequential_bed.env.now
+    sequential_outcomes = [
+        sequential_bed.submit_and_wait(request(index), client=sequential_client,
+                                       fetch_result=False)
+        for index in range(jobs)
+    ]
+    sequential_makespan = sequential_bed.env.now - start
+
+    # -- concurrent sessions ---------------------------------------------------
+    concurrent_bed = build()
+    concurrent_client = concurrent_bed.client(poll_interval_s=poll_interval_s)
+    start = concurrent_bed.env.now
+    handles = concurrent_client.submit_many(
+        [request(index) for index in range(jobs)], fetch_result=False)
+    concurrent_bed.run(until=concurrent_client.wait_all(handles))
+    concurrent_makespan = concurrent_bed.env.now - start
+
+    clusters_used: dict[str, int] = {}
+    for handle in handles:
+        if handle.cluster:
+            clusters_used[handle.cluster] = clusters_used.get(handle.cluster, 0) + 1
+    return ConcurrentLoadResult(
+        jobs=jobs,
+        job_duration_s=job_duration_s,
+        concurrent_makespan_s=concurrent_makespan,
+        sequential_makespan_s=sequential_makespan,
+        concurrent_completed=sum(1 for h in handles if h.succeeded),
+        sequential_completed=sum(1 for o in sequential_outcomes if o.succeeded),
+        max_in_flight=concurrent_client.max_in_flight,
+        pending_after=concurrent_client.consumer.pending_count(),
+        clusters_used=clusters_used,
     )
 
 
@@ -817,6 +915,7 @@ EXPERIMENT_RUNNERS = {
     "overlay_churn": run_overlay_churn,
     "placement_comparison": run_placement_comparison,
     "caching_ablation": run_caching_ablation,
+    "concurrent_load": run_concurrent_load,
     "baseline_comparison": run_baseline_comparison,
     "forwarding_exchange": run_forwarding_exchange,
 }

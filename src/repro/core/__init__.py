@@ -1,9 +1,10 @@
 """LIDC core: the paper's contribution.
 
 Everything that is LIDC-specific lives here: the semantic naming scheme, the
-gateway, per-cluster deployment, the multi-cluster overlay, the client
-library, placement strategies, result caching, completion-time prediction and
-the centralized baseline.
+declarative service plane, the gateway, per-cluster deployment, the
+multi-cluster overlay, the session-based client library, placement
+strategies, result caching, completion-time prediction and the centralized
+baseline.
 
 Most users only need three names::
 
@@ -13,6 +14,19 @@ Most users only need three names::
     outcome = testbed.submit_and_wait(
         ComputeRequest(app="BLAST", cpu=2, memory_gb=4,
                        dataset="SRR2931415", reference="HUMAN"))
+
+Non-blocking sessions drive many jobs through one client::
+
+    client = testbed.client()
+    handles = client.submit_many([request_a, request_b, request_c])
+    testbed.run(until=client.wait_all(handles))
+
+and a new application is one declarative registration::
+
+    testbed.register_service(ServiceDefinition(
+        name="WORDCOUNT", runner=WordCountRunner(),
+        schema=ServiceSchema(fields=(ParamField("sep", str, default=" "),)),
+        validator=WordCountValidator()))
 """
 
 from repro.core import naming
@@ -24,7 +38,7 @@ from repro.core.applications import (
 )
 from repro.core.baseline import CentralizedController, ControllerUnavailable
 from repro.core.caching import CachedResult, ResultCache
-from repro.core.client import JobOutcome, LIDCClient, SubmissionResult
+from repro.core.client import JobHandle, JobOutcome, LIDCClient, SubmissionResult
 from repro.core.cluster_endpoint import LIDCCluster
 from repro.core.framework import LIDCTestbed, TestbedConfig
 from repro.core.gateway import Gateway
@@ -46,6 +60,15 @@ from repro.core.placement import (
     RoundRobinPlacement,
 )
 from repro.core.predictor import CompletionTimePredictor
+from repro.core.service import (
+    BASE_SCHEMA,
+    ParamField,
+    ServiceDefinition,
+    ServiceRegistry,
+    ServiceRuntime,
+    ServiceSchema,
+    make_service,
+)
 from repro.core.spec import ComputeRequest, JobRecord, JobState
 from repro.core.validation import (
     BlastValidator,
@@ -67,6 +90,14 @@ __all__ = [
     "LIDCClient",
     "SubmissionResult",
     "JobOutcome",
+    "JobHandle",
+    "ServiceDefinition",
+    "ServiceRegistry",
+    "ServiceRuntime",
+    "ServiceSchema",
+    "ParamField",
+    "BASE_SCHEMA",
+    "make_service",
     "LIDCTestbed",
     "TestbedConfig",
     "GenomicsWorkflow",

@@ -1,8 +1,15 @@
 """Application runners: how each named application actually computes.
 
-The gateway maps the ``app=`` parameter of an accepted request to an
-:class:`ApplicationRunner`, which builds the Kubernetes pod workload for the
-Job.  Three applications ship with the reproduction:
+An :class:`ApplicationRunner` builds the Kubernetes pod workload for one
+accepted request.  Dispatch from the ``app=`` parameter to a runner is owned
+by the declarative service plane (:mod:`repro.core.service`): each runner is
+carried by a :class:`~repro.core.service.ServiceDefinition` together with its
+parameter schema, validator and cache policy, and the gateway looks it up in
+the :class:`~repro.core.service.ServiceRegistry`.  The
+:class:`ApplicationRegistry` below remains as the legacy runner-only table
+(standalone uses and ``ServiceRegistry.from_legacy``).
+
+Three applications ship with the reproduction:
 
 * ``BLAST`` — the paper's Magic-BLAST workload.  Paper-scale samples (sized
   placeholders in the data lake) use the calibrated
@@ -236,7 +243,12 @@ class SleepApplication:
 
 
 class ApplicationRegistry:
-    """Maps application names to runners (the gateway's dispatch table)."""
+    """Maps application names to runners (legacy runner-only table).
+
+    New code should register a :class:`~repro.core.service.ServiceDefinition`
+    with a :class:`~repro.core.service.ServiceRegistry` instead, which bundles
+    the runner with its schema, validator and cache policy in one object.
+    """
 
     def __init__(self) -> None:
         self._runners: dict[str, ApplicationRunner] = {}

@@ -27,9 +27,8 @@ from repro.cluster.cluster import Cluster, ClusterSpec
 from repro.cluster.pod import Container, PodSpec
 from repro.cluster.service import ServiceType
 from repro.core import naming
-from repro.core.applications import ApplicationRegistry
 from repro.core.gateway import Gateway
-from repro.core.validation import ValidatorRegistry
+from repro.core.service import ServiceDefinition, ServiceRegistry, ServiceRuntime
 from repro.datalake.fileserver import FileServer
 from repro.datalake.loader import DataLoadingTool
 from repro.datalake.repo import DataLake
@@ -66,6 +65,7 @@ class LIDCCluster:
         load_synthetic_datasets: bool = False,
         seed: int = 0,
         tracer: Optional[Tracer] = None,
+        services: Optional[ServiceRegistry] = None,
     ) -> None:
         self.env = env
         self.spec = spec
@@ -108,17 +108,21 @@ class LIDCCluster:
         self.fileserver = FileServer(env, self.datalake_nfd, self.datalake)
 
         # -- gateway application -------------------------------------------------------
-        applications = ApplicationRegistry.with_defaults(
-            registry=self.registry, model=self.runtime_model
+        # One declarative service registry per site: the schema, validator,
+        # runner and cache policy of every application, wired to this
+        # cluster's SRA registry and calibrated runtime model.
+        self.services = services or ServiceRegistry.with_defaults(
+            runtime=ServiceRuntime(
+                sra_registry=self.registry, runtime_model=self.runtime_model,
+                clock=lambda: env.now,
+            )
         )
-        validators = ValidatorRegistry.with_defaults(registry=self.registry)
         self.gateway = Gateway(
             env,
             cluster=self.cluster,
             forwarder=self.gateway_nfd,
             datalake=self.datalake,
-            applications=applications,
-            validators=validators,
+            services=self.services,
             enable_result_cache=enable_result_cache,
             reject_when_busy=reject_when_busy,
             tracer=self.tracer,
@@ -169,6 +173,12 @@ class LIDCCluster:
         """Withdraw every announced prefix (cluster leaving the overlay)."""
         for prefix in ANNOUNCED_PREFIXES:
             self.routing.withdraw(prefix)
+
+    # ------------------------------------------------------------------ service plane
+
+    def register_service(self, definition: ServiceDefinition) -> ServiceDefinition:
+        """Install a new application on this cluster's gateway."""
+        return self.services.register(definition)
 
     # ------------------------------------------------------------------ convenience
 

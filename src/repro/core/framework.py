@@ -17,9 +17,10 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.cluster.cluster import ClusterSpec
-from repro.core.client import JobOutcome, LIDCClient
+from repro.core.client import JobHandle, JobOutcome, LIDCClient
 from repro.core.cluster_endpoint import LIDCCluster
 from repro.core.overlay import ComputeOverlay
+from repro.core.service import ServiceDefinition
 from repro.core.spec import ComputeRequest
 from repro.core.workflow import GenomicsWorkflow, WorkflowReport
 from repro.exceptions import LIDCError
@@ -72,6 +73,9 @@ class LIDCTestbed:
         self.overlay = ComputeOverlay(self.env, tracer=self.tracer)
         self.overlay.add_access_router(CLIENT_EDGE)
         self._cluster_counter = 0
+        #: Extra services registered testbed-wide; applied to every cluster,
+        #: including ones added after the registration.
+        self._extra_services: list[ServiceDefinition] = []
 
     # ------------------------------------------------------------------ construction
 
@@ -138,6 +142,8 @@ class LIDCTestbed:
             seed=config.seed + index,
             tracer=self.tracer,
         )
+        for definition in self._extra_services:
+            cluster.register_service(definition.clone())
         connections = []
         if connect_to is not None:
             connections = [(connect_to, latency_s if latency_s is not None else config.wan_latency_s)]
@@ -145,6 +151,23 @@ class LIDCTestbed:
             cluster, connect_to=connections, bandwidth_bps=config.wan_bandwidth_bps
         )
         return cluster
+
+    # ------------------------------------------------------------------ service plane
+
+    def register_service(self, definition: ServiceDefinition) -> ServiceDefinition:
+        """Install a new application on every cluster of the testbed.
+
+        One declarative :class:`~repro.core.service.ServiceDefinition` —
+        schema, validator, runner, cache policy — makes the application
+        submittable end-to-end without touching gateway, validation or
+        application dispatch code.  Clusters added later inherit it too.
+        Every cluster receives its own copy, so per-site validator binding
+        and later registry mutations cannot alias across sites.
+        """
+        self._extra_services.append(definition)
+        for cluster in self.clusters.values():
+            cluster.register_service(definition.clone())
+        return definition
 
     # ------------------------------------------------------------------ accessors
 
@@ -176,13 +199,33 @@ class LIDCTestbed:
     def submit_and_wait(self, request: ComputeRequest, client: Optional[LIDCClient] = None,
                         poll_interval_s: Optional[float] = None,
                         fetch_result: bool = True) -> JobOutcome:
-        """Synchronous convenience: run one workflow to completion and return its outcome."""
+        """Synchronous convenience: open one job session and run it to completion."""
         client = client or self.client()
-        return self.run_process(
-            client.run_workflow(request, poll_interval_s=poll_interval_s,
-                                fetch_result=fetch_result),
-            name=f"workflow:{request.app}",
+        handle = client.submit(
+            request, fetch_result=fetch_result, poll_interval_s=poll_interval_s
         )
+        return self.run(until=handle.done)
+
+    def submit_many_and_wait(
+        self,
+        requests: Sequence[ComputeRequest],
+        client: Optional[LIDCClient] = None,
+        poll_interval_s: Optional[float] = None,
+        fetch_result: bool = False,
+        stagger_s: float = 0.0,
+    ) -> list[JobOutcome]:
+        """Synchronous convenience: drive N concurrent job sessions to completion.
+
+        All requests go through one client (one Consumer); the handles
+        complete independently and the outcomes come back in submission order.
+        """
+        client = client or self.client()
+        handles: list[JobHandle] = client.submit_many(
+            requests, fetch_result=fetch_result,
+            poll_interval_s=poll_interval_s, stagger_s=stagger_s,
+        )
+        self.run(until=client.wait_all(handles))
+        return [handle.outcome for handle in handles]
 
     def run_blast(self, srr_id: str, reference: str = "HUMAN", cpu: float = 2,
                   memory_gb: float = 4, client: Optional[LIDCClient] = None) -> WorkflowReport:

@@ -30,6 +30,7 @@ from repro.core.applications import ApplicationRegistry
 from repro.core.caching import ResultCache
 from repro.core.jobs import JobTracker
 from repro.core.predictor import CompletionTimePredictor
+from repro.core.service import ServiceDefinition, ServiceRegistry
 from repro.core.spec import ComputeRequest, JobRecord, JobState
 from repro.core.validation import ValidatorRegistry
 from repro.datalake.repo import DataLake
@@ -55,6 +56,7 @@ class Gateway:
         datalake: DataLake,
         applications: Optional[ApplicationRegistry] = None,
         validators: Optional[ValidatorRegistry] = None,
+        services: Optional[ServiceRegistry] = None,
         enable_result_cache: bool = False,
         cache: Optional[ResultCache] = None,
         predictor: Optional[CompletionTimePredictor] = None,
@@ -66,8 +68,16 @@ class Gateway:
         self.cluster = cluster
         self.forwarder = forwarder
         self.datalake = datalake
-        self.applications = applications or ApplicationRegistry.with_defaults()
-        self.validators = validators or ValidatorRegistry.with_defaults()
+        # The gateway dispatches from a single ServiceRegistry.  Legacy
+        # ApplicationRegistry/ValidatorRegistry arguments are wrapped so older
+        # call sites keep working; ``gateway.applications`` and
+        # ``gateway.validators`` stay available as live views over it.
+        if services is None:
+            if applications is not None or validators is not None:
+                services = ServiceRegistry.from_legacy(applications, validators)
+            else:
+                services = ServiceRegistry.with_defaults()
+        self.services = services
         self.enable_result_cache = enable_result_cache
         self.cache = cache or ResultCache(clock=lambda: env.now)
         self.predictor = predictor
@@ -82,6 +92,22 @@ class Gateway:
         self.compute_face = forwarder.attach_producer(naming.COMPUTE_PREFIX, self._on_compute)
         self.status_face = forwarder.attach_producer(naming.STATUS_PREFIX, self._on_status)
 
+    # ------------------------------------------------------------------ service plane
+
+    @property
+    def applications(self):
+        """Legacy ``ApplicationRegistry``-shaped view over the service registry."""
+        return self.services.apps
+
+    @property
+    def validators(self):
+        """Legacy ``ValidatorRegistry``-shaped view over the service registry."""
+        return self.services.checks
+
+    def register_service(self, definition: ServiceDefinition) -> ServiceDefinition:
+        """Add a new application with one declarative definition (no other edits)."""
+        return self.services.register(definition)
+
     # ------------------------------------------------------------------ compute
 
     def _on_compute(self, interest: Interest) -> "Data | Nack":
@@ -93,18 +119,18 @@ class Gateway:
             self.metrics.counter("compute_malformed").inc()
             return self._error_data(interest.name, f"malformed compute name: {exc}")
 
-        validation = self.validators.validate(request, self.datalake)
+        validation = self.services.validate(request, self.datalake)
         if not validation.ok:
             self.metrics.counter("compute_rejected_validation").inc()
             self.tracer.record("gateway", "validation-rejected", name=str(interest.name),
                                reason=validation.message)
             return self._error_data(interest.name, validation.message)
 
-        if not self.applications.has_app(request.app):
+        if not self.services.has_app(request.app):
             self.metrics.counter("compute_rejected_unknown_app").inc()
             return self._error_data(interest.name, f"unknown application {request.app!r}")
 
-        if self.enable_result_cache:
+        if self.enable_result_cache and self.services.cacheable(request.app):
             cached = self.cache.lookup(request)
             if cached is not None:
                 record = self.tracker.new_job(request)
@@ -136,7 +162,7 @@ class Gateway:
         tests that exercise the job path in isolation.
         """
         if validate:
-            result = self.validators.validate(request, self.datalake)
+            result = self.services.validate(request, self.datalake)
             result.raise_if_failed()
         return self._admit(request)
 
@@ -144,7 +170,7 @@ class Gateway:
         """Create the job record, the Kubernetes Job, and the completion watcher."""
         record = self.tracker.new_job(request)
         try:
-            runner = self.applications.runner_for(request.app)
+            runner = self.services.runner_for(request.app)
         except UnknownApplication as exc:  # defensive; has_app was checked
             self.tracker.mark_failed(record.job_id, str(exc))
             return record
@@ -182,7 +208,8 @@ class Gateway:
             self.metrics.counter("jobs_completed").inc()
             self.tracer.record("gateway", "job-completed", job_id=record.job_id,
                                runtime=record.runtime())
-            if self.enable_result_cache and result_name is not None:
+            if (self.enable_result_cache and result_name is not None
+                    and self.services.cacheable(record.request.app)):
                 self.cache.store(record.request, result_name, result_size or 0, record.job_id)
             if self.predictor is not None and record.runtime() is not None:
                 dataset_size = self._dataset_size(record.request)
@@ -293,4 +320,5 @@ class Gateway:
             "jobs": self.tracker.stats(),
             "cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
+            "services": self.services.applications(),
         }

@@ -13,13 +13,21 @@ This module converts between parameter dictionaries and those names, and
 provides canonicalisation so that two requests with the same parameters in a
 different order map to the same name (which is what makes result caching by
 name possible).
+
+Typed encoding/decoding is schema-driven: the service plane's
+:data:`repro.core.service.BASE_SCHEMA` declares the shared fields (app, cpu,
+mem, srr, ref) with their aliases, so :func:`canonical_compute_name` and
+:func:`parse_typed_compute_name` fold alias spellings (``memory``,
+``dataset``) onto the canonical keys.  Legacy ``/ndn/k8s/compute/...`` names
+keep parsing identically through :func:`parse_compute_name`.
 """
 
 from __future__ import annotations
 
 import urllib.parse
-from typing import Mapping
+from typing import Any, Mapping
 
+from repro.core.service import BASE_SCHEMA
 from repro.exceptions import InvalidComputeName
 from repro.ndn.name import Name
 
@@ -32,6 +40,8 @@ __all__ = [
     "decode_params",
     "compute_name",
     "parse_compute_name",
+    "canonical_compute_name",
+    "parse_typed_compute_name",
     "status_name",
     "parse_status_name",
     "data_name",
@@ -96,6 +106,21 @@ def parse_compute_name(name: "Name | str") -> dict[str, str]:
             f"{name} must have exactly one parameter component after {COMPUTE_PREFIX}"
         )
     return decode_params(name.last().to_str())
+
+
+def canonical_compute_name(params: Mapping[str, str]) -> Name:
+    """Build a compute name with alias keys folded onto their canonical form.
+
+    ``{"app": "X", "memory": "8"}`` and ``{"app": "X", "mem": "8"}`` produce
+    the same name, so alias spellings cannot split on-path content-store
+    entries or the gateway result cache.
+    """
+    return compute_name(BASE_SCHEMA.canonicalise(params))
+
+
+def parse_typed_compute_name(name: "Name | str") -> tuple[dict[str, Any], dict[str, str]]:
+    """Parse a compute name into (typed base fields, extra string params)."""
+    return BASE_SCHEMA.parse(parse_compute_name(name))
 
 
 def status_name(job_id: str) -> Name:

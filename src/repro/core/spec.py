@@ -8,6 +8,7 @@ from typing import Mapping, Optional
 
 from repro.exceptions import InvalidComputeName
 from repro.core import naming
+from repro.core.service import BASE_SCHEMA
 from repro.ndn.name import Name
 
 __all__ = ["ComputeRequest", "JobState", "JobRecord"]
@@ -50,7 +51,10 @@ class ComputeRequest:
         if self.reference is not None:
             params["ref"] = self.reference
         for key, value in self.params.items():
-            if key in params:
+            # Reject both the canonical built-in keys and their schema aliases
+            # (memory, dataset): a name carrying `mem=...&memory=...` would be
+            # rejected by from_params, so to_params must not build it.
+            if key in params or BASE_SCHEMA.field_for(key) is not None:
                 raise InvalidComputeName(f"parameter {key!r} collides with a built-in field")
             params[key] = str(value)
         return params
@@ -61,18 +65,22 @@ class ComputeRequest:
 
     @classmethod
     def from_params(cls, params: Mapping[str, str]) -> "ComputeRequest":
-        """Rebuild a request from a decoded parameter dict."""
-        params = dict(params)
-        app = params.pop("app", None)
-        if not app:
-            raise InvalidComputeName("compute name has no app parameter")
-        cpu = float(params.pop("cpu", 2))
-        memory_gb = float(params.pop("mem", params.pop("memory", 4)))
-        dataset = params.pop("srr", params.pop("dataset", None))
-        reference = params.pop("ref", None)
+        """Rebuild a request from a decoded parameter dict.
+
+        Parsing is schema-driven (:data:`repro.core.service.BASE_SCHEMA`):
+        alias keys (``memory`` → ``mem``, ``dataset`` → ``srr``) are
+        canonicalised at parse time, non-numeric resource values raise
+        :class:`InvalidComputeName` rather than a bare ``ValueError``, and
+        supplying a field under two spellings at once is rejected.
+        """
+        typed, extras = BASE_SCHEMA.parse(params)
         return cls(
-            app=app, cpu=cpu, memory_gb=memory_gb, dataset=dataset,
-            reference=reference, params=params,
+            app=typed["app"],
+            cpu=typed["cpu"],
+            memory_gb=typed["mem"],
+            dataset=typed["srr"],
+            reference=typed["ref"],
+            params=extras,
         )
 
     @classmethod

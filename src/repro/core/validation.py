@@ -130,6 +130,10 @@ class ValidatorRegistry:
     def has_validator(self, app: str) -> bool:
         return app.upper() in self._validators
 
+    def registered(self) -> list[str]:
+        """The application names that carry an explicit validator."""
+        return sorted(self._validators)
+
     def validate(self, request: ComputeRequest, datalake: Optional[DataLake] = None) -> ValidationResult:
         """Run the registered validator for the request's application."""
         return self.validator_for(request.app).validate(request, datalake)

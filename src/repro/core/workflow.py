@@ -140,3 +140,24 @@ class GenomicsWorkflow:
             report = yield from self.run(request, unique=unique)
             campaign.reports.append(report)
         return campaign
+
+    def run_concurrent(self, requests: Sequence[ComputeRequest], unique: bool = True,
+                       stagger_s: float = 0.0):
+        """Process generator: drive all workflows concurrently through one client.
+
+        Every request becomes an in-flight :class:`~repro.core.client.JobHandle`
+        on the shared Consumer; the campaign completes when the last handle
+        does, so the makespan is the slowest job rather than the sum.
+        """
+        handles = self.client.submit_many(
+            requests, unique=unique, fetch_result=self.fetch_results,
+            poll_interval_s=self.poll_interval_s, stagger_s=stagger_s,
+        )
+        yield self.client.wait_all(handles)
+        campaign = CampaignResult()
+        for handle in handles:
+            outcome = handle.outcome
+            campaign.reports.append(
+                WorkflowReport(outcome=outcome, steps=decompose(outcome))
+            )
+        return campaign

@@ -52,6 +52,10 @@ class Consumer:
         self.name = name
         self.forwarder = forwarder
         self._pending: dict[Name, list[PendingInterest]] = {}
+        #: Number of in-flight Interests with ``can_be_prefix``; kept so the
+        #: Data path can skip the full prefix scan when (as is typical for
+        #: many concurrent job sessions) every pending Interest is exact-match.
+        self._prefix_pending = 0
         self._faces: list[Face] = []
         # Connect to the forwarder over a local (or provided) link.
         if link is None:
@@ -115,6 +119,8 @@ class Consumer:
             retries_left=retries,
         )
         self._pending.setdefault(interest.name, []).append(pending)
+        if interest.can_be_prefix:
+            self._prefix_pending += 1
         self._send(pending)
         self.env.process(self._watchdog(pending), name=f"watchdog:{interest.name}")
         return completion
@@ -152,16 +158,35 @@ class Consumer:
         bucket = self._pending.get(pending.interest.name, [])
         if pending in bucket:
             bucket.remove(pending)
+            if pending.interest.can_be_prefix:
+                self._prefix_pending -= 1
         if not bucket:
             self._pending.pop(pending.interest.name, None)
 
+    def pending_count(self) -> int:
+        """Number of in-flight Interests (leak check for concurrent sessions)."""
+        return sum(len(bucket) for bucket in self._pending.values())
+
     def _on_data(self, data: Data) -> None:
+        """Resolve the pending Interests this Data satisfies.
+
+        Exact-name lookup first — O(1) regardless of how many unrelated
+        Interests are in flight, which is what keeps N concurrent job
+        sessions on one consumer cheap.  The linear scan only runs for the
+        (rare) prefix-matching Interests.
+        """
         self.data_received += 1
         matches: list[PendingInterest] = []
-        for name, bucket in list(self._pending.items()):
-            for pending in list(bucket):
-                if pending.interest.matches_data(data):
-                    matches.append(pending)
+        bucket = self._pending.get(data.name)
+        if bucket:
+            matches.extend(p for p in bucket if p.interest.matches_data(data))
+        if self._prefix_pending:
+            for name, prefix_bucket in list(self._pending.items()):
+                if name == data.name:
+                    continue
+                for pending in prefix_bucket:
+                    if pending.interest.can_be_prefix and pending.interest.matches_data(data):
+                        matches.append(pending)
         for pending in matches:
             pending.satisfied = True
             self._forget(pending)

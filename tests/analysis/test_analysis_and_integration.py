@@ -10,6 +10,7 @@ import pytest
 from repro.analysis.experiments import (
     run_baseline_comparison,
     run_caching_ablation,
+    run_concurrent_load,
     run_fig2_name_placement,
     run_fig3_service_mapping,
     run_fig5_workflow,
@@ -140,6 +141,17 @@ class TestAblations:
         # than the best strategy on this contended workload.
         assert best.mean_turnaround_s <= nearest.mean_turnaround_s
         assert all(outcome.failures == 0 for outcome in result.outcomes)
+
+    def test_concurrent_load_beats_sequential(self):
+        result = run_concurrent_load(seed=1, jobs=10, job_duration_s=60.0,
+                                     poll_interval_s=5.0)
+        assert result.concurrent_completed == 10
+        assert result.sequential_completed == 10
+        assert result.concurrent_makespan_s < result.sequential_makespan_s
+        assert result.concurrent_makespan_s < 2 * result.job_duration_s
+        assert result.max_in_flight == 10
+        assert result.pending_after == 0
+        assert "concurrent" in result.to_table().render()
 
     def test_baseline_comparison_availability(self):
         result = run_baseline_comparison(seed=1, cluster_count=2, requests_per_phase=3,

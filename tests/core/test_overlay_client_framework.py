@@ -146,7 +146,7 @@ class TestMultiClusterBehaviour:
         def submit_all_quickly():
             submissions = []
             for index in range(2):
-                submission = yield from client.submit(
+                submission = yield from client.submit_interest(
                     sleep_request(300, cpu=2, memory_gb=2, idx=str(index)))
                 submissions.append(submission)
             return submissions
@@ -163,7 +163,7 @@ class TestMultiClusterBehaviour:
         def submit_all_quickly():
             submissions = []
             for index in range(3):
-                submission = yield from client.submit(
+                submission = yield from client.submit_interest(
                     sleep_request(300, cpu=2, memory_gb=2, idx=str(index)))
                 submissions.append(submission)
             return submissions
@@ -193,13 +193,14 @@ class TestMultiClusterBehaviour:
             # Fill cluster-a, then the third request only fits on the new cluster.
             submissions = []
             for index in range(2):
-                submissions.append((yield from client.submit(
+                submissions.append((yield from client.submit_interest(
                     sleep_request(500, cpu=2, memory_gb=2, idx=str(index)))))
             return submissions
 
         testbed.run_process(fill_and_overflow())
         new_cluster = testbed.add_cluster(name="cluster-late")
-        overflow = testbed.run_process(client.submit(sleep_request(500, cpu=2, memory_gb=2, idx="x")))
+        overflow = testbed.run_process(
+            client.submit_interest(sleep_request(500, cpu=2, memory_gb=2, idx="x")))
         assert overflow.accepted
         assert overflow.cluster == new_cluster.name
 

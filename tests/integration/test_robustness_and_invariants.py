@@ -31,7 +31,7 @@ class TestNodeFailureDuringJobs:
         client = testbed.client(poll_interval_s=10.0)
 
         def submit():
-            return (yield from client.submit(
+            return (yield from client.submit_interest(
                 ComputeRequest(app="SLEEP", cpu=1, memory_gb=1, params={"duration": "500"})))
 
         submission = testbed.run_process(submit())
@@ -63,19 +63,20 @@ class TestClusterLossMidWorkflow:
         testbed = LIDCTestbed.single_cluster(seed=23)
         client = testbed.client(poll_interval_s=30.0, retries=0)
 
-        def workflow():
-            outcome = yield from client.run_workflow(
-                ComputeRequest(app="SLEEP", cpu=1, memory_gb=1, params={"duration": "10000"}),
-                poll_interval_s=30.0, fetch_result=False)
-            return outcome
-
-        process = testbed.env.process(workflow(), name="doomed-workflow")
+        handle = client.submit(
+            ComputeRequest(app="SLEEP", cpu=1, memory_gb=1, params={"duration": "10000"}),
+            poll_interval_s=30.0)
         testbed.run(until=testbed.env.now + 50)
+        assert handle.accepted and not handle.finished
         testbed.overlay.fail_cluster("cluster-a")
-        with pytest.raises(Exception):
-            # Status polls can no longer reach any gateway: the workflow surfaces
-            # the timeout/NACK instead of hanging forever.
-            testbed.run(until=process)
+        # Status Interests can no longer reach any gateway: the session resolves
+        # to a FAILED outcome carrying the timeout/NACK instead of hanging.
+        outcome = testbed.run(until=handle.done)
+        assert not outcome.succeeded
+        assert handle.state == JobState.FAILED
+        assert "status tracking failed" in (outcome.error or "")
+        # No pending-Interest book-keeping leaks from the dead session.
+        assert client.consumer.pending_count() == 0
 
 
 class TestStorageExhaustion:
