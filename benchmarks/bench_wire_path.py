@@ -1,0 +1,177 @@
+"""Microbenchmark ``wire_path`` — object-path vs wire-path transport cost.
+
+The transport plane carries :class:`~repro.ndn.packet.WirePacket` views:
+faces hand the encoded buffer across links, intermediate forwarders answer
+every header question off a lazy TLV scan, and only application endpoints
+materialise packet objects.  These benchmarks measure the two paths side by
+side and pin the contract with assertions:
+
+* header reads on a lazy view vs a full ``decode()``;
+* the per-hop Interest copy: hop-limit byte patch vs rebuild + re-encode;
+* a transiting Data packet crosses two forwarders with **zero** wire-level
+  decodes (checked via the ``WirePacket.wire_decodes`` counter);
+* the end-to-end two-hop Interest/Data exchange that PR 1 baselined at a
+  9.2 ms median stays fast on the wire path.
+"""
+
+from repro.ndn.client import Consumer, Producer
+from repro.ndn.face import LocalFace, connect
+from repro.ndn.forwarder import Forwarder
+from repro.ndn.name import Name
+from repro.ndn.packet import Data, Interest, WirePacket
+from repro.ndn.routing import RoutingDaemon
+from repro.sim.engine import Environment
+from repro.sim.topology import Link
+
+INTEREST_NAME = "/ndn/k8s/compute/app=BLAST&cpu=2&mem=4&srr=SRR2931415"
+
+
+def test_lazy_header_read_vs_full_decode(benchmark):
+    """Reading name + flags off the wire view, vs decoding the whole packet.
+
+    This is the question an intermediate hop actually asks; the ratio to
+    ``Interest.decode`` is recorded in ``extra_info``.
+    """
+    import time
+
+    wire = Interest(name=Name(INTEREST_NAME), application_parameters=b"p" * 64).encode()
+
+    def lazy_read():
+        view = WirePacket(wire)
+        return view.name, view.can_be_prefix, view.must_be_fresh, view.nonce
+
+    result = benchmark(lazy_read)
+    assert result[0] == Name(INTEREST_NAME)
+
+    # Comparative timing for the report: full object decode of the same wire.
+    rounds = 2_000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        Interest.decode(wire)
+    object_path = (time.perf_counter() - start) / rounds
+    start = time.perf_counter()
+    for _ in range(rounds):
+        lazy_read()
+    wire_path = (time.perf_counter() - start) / rounds
+    benchmark.extra_info["object_path_us"] = round(object_path * 1e6, 2)
+    benchmark.extra_info["wire_path_us"] = round(wire_path * 1e6, 2)
+    benchmark.extra_info["speedup"] = round(object_path / wire_path, 2)
+
+
+def test_per_hop_interest_copy_patch_vs_reencode(benchmark):
+    """The forwarded-Interest copy: one-byte wire patch vs rebuild+re-encode."""
+    import time
+
+    interest = Interest(name=Name(INTEREST_NAME), hop_limit=64)
+    view = WirePacket(interest.encode())
+
+    forwarded = benchmark(view.with_decremented_hop_limit)
+    assert forwarded.hop_limit == 63
+    assert forwarded.nonce == interest.nonce
+
+    rounds = 2_000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        interest.with_decremented_hop_limit().encode()
+    object_path = (time.perf_counter() - start) / rounds
+    start = time.perf_counter()
+    for _ in range(rounds):
+        view.with_decremented_hop_limit()
+    wire_path = (time.perf_counter() - start) / rounds
+    benchmark.extra_info["object_path_us"] = round(object_path * 1e6, 2)
+    benchmark.extra_info["wire_path_us"] = round(wire_path * 1e6, 2)
+    benchmark.extra_info["speedup"] = round(object_path / wire_path, 2)
+
+
+class _WireSink:
+    """Wire-aware terminal endpoint for the transit benchmark."""
+
+    accepts_wire_packets = True
+
+    def __init__(self):
+        self.received = []
+
+    def add_face(self, face):
+        return 1
+
+    def receive_packet(self, packet, face):
+        self.received.append(packet)
+
+
+def test_intermediate_hops_never_decode_transiting_data(benchmark):
+    """Wire-borne Interest/Data crossing two forwarders: zero full decodes.
+
+    Packets enter as raw buffers (as off a real network) and the
+    ``WirePacket.wire_decodes`` counter must not move while they transit the
+    origin and edge forwarders and land at a wire-aware application — the
+    acceptance contract of the bytes-first transport API.
+    """
+
+    def run_transit() -> int:
+        env = Environment()
+        edge = Forwarder(env, "edge", cs_capacity=32)
+        origin = Forwarder(env, "origin", cs_capacity=0)
+        face_eo, face_oe = connect(
+            env, edge, origin, link=Link("e", "o", latency_s=0.001), label="e-o"
+        )
+        daemon_edge, daemon_origin = RoutingDaemon(edge), RoutingDaemon(origin)
+        RoutingDaemon.peer(daemon_edge, face_eo, daemon_origin, face_oe)
+        daemon_origin.announce("/svc")
+
+        payloads = {
+            f"/svc/item-{i}": Data(name=Name(f"/svc/item-{i}"), content=b"x" * 512).encode()
+            for i in range(20)
+        }
+        origin.attach_producer(
+            "/svc", lambda interest: WirePacket(payloads[str(interest.name)])
+        )
+
+        sink = _WireSink()
+        app_face, _ = connect(env, sink, edge, face_cls=LocalFace)
+
+        before = WirePacket.wire_decodes
+        for name in payloads:
+            app_face.send(WirePacket(Interest(name=Name(name)).encode()))
+        env.run(until=1.0)
+        decode_delta = WirePacket.wire_decodes - before
+
+        assert len(sink.received) == len(payloads)
+        assert decode_delta == 0, (
+            f"{decode_delta} wire decodes happened while Data only transited"
+        )
+        # The edge CS holds wire views and can re-serve without decoding.
+        cached = edge.cs.find(Interest(name=Name("/svc/item-0")))
+        assert isinstance(cached, WirePacket)
+        return len(sink.received)
+
+    received = benchmark(run_transit)
+    assert received == 20
+
+
+def test_two_hop_interest_data_exchange_wire_path(benchmark):
+    """End-to-end exchange through consumer → edge → origin, wire transport.
+
+    Mirrors ``bench_ndn_forwarding.test_two_hop_interest_data_exchange`` so
+    the medians stay directly comparable against the 9.2 ms PR 1 baseline.
+    """
+
+    def run_exchange_batch():
+        env = Environment()
+        edge = Forwarder(env, "edge", cs_capacity=0)
+        origin = Forwarder(env, "origin", cs_capacity=0)
+        face_a, face_b = connect(
+            env, edge, origin, link=Link("e", "o", latency_s=0.001), label="e-o"
+        )
+        daemon_edge, daemon_origin = RoutingDaemon(edge), RoutingDaemon(origin)
+        RoutingDaemon.peer(daemon_edge, face_a, daemon_origin, face_b)
+        producer = Producer(env, origin, "/svc")
+        for index in range(50):
+            producer.publish(f"/svc/item-{index}", b"payload" * 10)
+        daemon_origin.announce("/svc")
+        consumer = Consumer(env, edge)
+        events = [consumer.express_interest(f"/svc/item-{index}") for index in range(50)]
+        env.run(until=env.all_of(events))
+        return consumer.data_received
+
+    received = benchmark(run_exchange_batch)
+    assert received == 50

@@ -197,6 +197,26 @@ class LIDCCluster:
     def active_jobs(self) -> int:
         return self.gateway.active_job_count()
 
+    def transport_stats(self) -> dict[str, dict[str, int]]:
+        """Wire-level transport totals, reported per NFD.
+
+        Bytes are ``len(wire)`` of the buffers that crossed each face;
+        ``drops`` counts packets discarded on down faces, so experiments can
+        report loss instead of silently eating packets.  Totals are kept
+        separate per forwarder because the intra-site gw↔dl link appears in
+        both — summing the two would double-count internal traffic as site
+        ingress/egress.
+        """
+        report: dict[str, dict[str, int]] = {}
+        for key, nfd in (("gateway_nfd", self.gateway_nfd), ("datalake_nfd", self.datalake_nfd)):
+            totals = {"bytes_in": 0, "bytes_out": 0, "drops": 0}
+            for counters in nfd.face_stats().values():
+                totals["bytes_in"] += counters["bytes_in"]
+                totals["bytes_out"] += counters["bytes_out"]
+                totals["drops"] += counters["drops"]
+            report[key] = totals
+        return report
+
     def stats(self) -> dict[str, object]:
         return {
             "name": self.name,
@@ -205,6 +225,7 @@ class LIDCCluster:
             "datalake": self.datalake.stats(),
             "gateway_nfd": self.gateway_nfd.stats(),
             "datalake_nfd": self.datalake_nfd.stats(),
+            "transport": self.transport_stats(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -37,7 +37,7 @@ from repro.datalake.repo import DataLake
 from repro.exceptions import InvalidComputeName, UnknownApplication
 from repro.ndn.forwarder import Forwarder
 from repro.ndn.name import Name
-from repro.ndn.packet import Data, Interest, Nack, NackReason
+from repro.ndn.packet import Data, InterestLike, Nack, NackReason, WirePacket
 from repro.sim.engine import Environment
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.trace import Tracer
@@ -110,7 +110,7 @@ class Gateway:
 
     # ------------------------------------------------------------------ compute
 
-    def _on_compute(self, interest: Interest) -> "Data | Nack":
+    def _on_compute(self, interest: InterestLike) -> "Data | Nack | WirePacket":
         self.metrics.counter("compute_interests").inc()
         self.tracer.record("gateway", "compute-received", name=str(interest.name))
         try:
@@ -149,7 +149,7 @@ class Gateway:
         if self.reject_when_busy and not self.cluster.can_fit(requests):
             self.metrics.counter("compute_rejected_capacity").inc()
             self.tracer.record("gateway", "capacity-rejected", name=str(interest.name))
-            return Nack(interest=interest, reason=NackReason.CONGESTION)
+            return interest.nack(NackReason.CONGESTION)
 
         record = self._admit(request)
         return self._ack_data(interest.name, record)
@@ -250,7 +250,7 @@ class Gateway:
 
     # ------------------------------------------------------------------ status
 
-    def _on_status(self, interest: Interest) -> "Data | Nack":
+    def _on_status(self, interest: InterestLike) -> "Data | Nack | WirePacket":
         self.metrics.counter("status_interests").inc()
         try:
             job_id = naming.parse_status_name(interest.name)
@@ -262,7 +262,7 @@ class Gateway:
             # the job may live on another cluster, and the NACK lets the
             # forwarding plane retry the poll there.
             self.metrics.counter("status_unknown_job").inc()
-            return Nack(interest=interest, reason=NackReason.NO_ROUTE)
+            return interest.nack(NackReason.NO_ROUTE)
         self._refresh_state(record)
         payload = record.status_payload()
         self.tracer.record("gateway", "status-served", job_id=job_id, state=record.state.value)

@@ -23,7 +23,7 @@ from repro.datalake.repo import DataLake
 from repro.ndn.client import Producer
 from repro.ndn.forwarder import Forwarder
 from repro.ndn.name import Name
-from repro.ndn.packet import Data, Interest, Nack, NackReason
+from repro.ndn.packet import Data, InterestLike, Nack, NackReason, WirePacket
 from repro.ndn.security import DigestSigner, HmacSigner
 from repro.ndn.segmentation import DEFAULT_SEGMENT_SIZE, segment_content
 from repro.sim.engine import Environment
@@ -64,14 +64,14 @@ class FileServer:
 
     # -- request handling ------------------------------------------------------------
 
-    def _handle(self, interest: Interest) -> "Data | Nack":
+    def _handle(self, interest: InterestLike) -> "Data | Nack | WirePacket":
         try:
             return self._dispatch(interest)
         except (DatasetNotFound, DataLakeError):
             self.requests_failed += 1
-            return Nack(interest=interest, reason=NackReason.NO_ROUTE)
+            return interest.nack(NackReason.NO_ROUTE)
 
-    def _dispatch(self, interest: Interest) -> Data:
+    def _dispatch(self, interest: InterestLike) -> Data:
         name = interest.name
         suffix = name.suffix(len(self.datalake.prefix))
         if len(suffix) == 0:

@@ -21,7 +21,7 @@ This package implements, from scratch, the NDN primitives LIDC relies on:
 """
 
 from repro.ndn.name import Component, Name
-from repro.ndn.packet import Data, Interest, Nack, NackReason
+from repro.ndn.packet import Data, Interest, Nack, NackReason, WirePacket
 from repro.ndn.security import DigestSigner, HmacSigner, KeyChain, sha256_digest
 from repro.ndn.cs import CachePolicy, ContentStore
 from repro.ndn.pit import PendingInterestTable, PitEntry
@@ -45,6 +45,7 @@ __all__ = [
     "Data",
     "Nack",
     "NackReason",
+    "WirePacket",
     "KeyChain",
     "DigestSigner",
     "HmacSigner",

@@ -15,12 +15,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.exceptions import InterestNacked, InterestTimeout, NDNError
-from repro.ndn.face import Face, LocalFace, Packet, connect
+from repro.ndn.face import AnyPacket, Face, LocalFace, connect
 from repro.ndn.forwarder import Forwarder
 from repro.ndn.name import Name
-from repro.ndn.packet import Data, Interest, Nack, NackReason
+from repro.ndn.packet import Data, Interest, InterestLike, Nack, NackReason, WirePacket
 from repro.ndn.security import DigestSigner, HmacSigner
 from repro.ndn.segmentation import reassemble, segment_content
+from repro.ndn.tlv import TlvTypes
 from repro.sim.engine import Environment, Event
 
 __all__ = ["Consumer", "Producer", "PendingInterest"]
@@ -40,6 +41,10 @@ class PendingInterest:
 
 class Consumer:
     """An application endpoint that expresses Interests through a forwarder."""
+
+    #: Receive wire views from faces; Data is decoded here — at the one
+    #: endpoint that actually consumes the content — not in transit.
+    accepts_wire_packets = True
 
     def __init__(
         self,
@@ -77,11 +82,17 @@ class Consumer:
         self._faces.append(face)
         return len(self._faces)
 
-    def receive_packet(self, packet: Packet, face: Face) -> None:
-        if isinstance(packet, Data):
-            self._on_data(packet)
-        elif isinstance(packet, Nack):
-            self._on_nack(packet)
+    def receive_packet(self, packet: AnyPacket, face: Face) -> None:
+        wire_packet = WirePacket.of(packet)
+        packet_type = wire_packet.packet_type
+        if packet_type == TlvTypes.DATA:
+            # The consumer is the content's destination: this is where the
+            # (at most one) full decode of a wire-borne packet belongs.
+            self._on_data(wire_packet.decode())
+        elif packet_type == TlvTypes.NACK:
+            # Nack handling needs only the enclosed name and the reason code,
+            # both lazily available on the view.
+            self._on_nack(wire_packet)
         # Consumers ignore incoming Interests.
 
     # -- expressing interests ------------------------------------------------------
@@ -193,7 +204,7 @@ class Consumer:
             if not pending.completion.triggered:
                 pending.completion.succeed(data)
 
-    def _on_nack(self, nack: Nack) -> None:
+    def _on_nack(self, nack: "Nack | WirePacket") -> None:
         self.nacks_received += 1
         bucket = list(self._pending.get(nack.name, []))
         for pending in bucket:
@@ -249,7 +260,7 @@ class Producer:
         env: Environment,
         forwarder: Forwarder,
         prefix: "Name | str",
-        handler: Optional[Callable[[Interest], "Data | Nack | None"]] = None,
+        handler: Optional[Callable[[InterestLike], "AnyPacket | None"]] = None,
         signer: "DigestSigner | HmacSigner | None" = None,
         name: str = "producer",
         freshness_period: float = 0.0,
@@ -302,9 +313,10 @@ class Producer:
 
     # -- serving -----------------------------------------------------------------
 
-    def _dispatch(self, interest: Interest) -> "Data | Nack | None":
+    def _dispatch(self, interest: InterestLike) -> "AnyPacket | None":
         self.interests_served += 1
-        # Static store first (exact, then prefix match for discovery).
+        # Static store first (exact, then prefix match for discovery); every
+        # field read here resolves lazily off the wire view.
         data = self._store.get(interest.name)
         if data is None and interest.can_be_prefix:
             candidates = [d for n, d in self._store.items() if interest.name.is_prefix_of(n)]
@@ -314,7 +326,7 @@ class Producer:
             return data
         if self._handler is not None:
             return self._handler(interest)
-        return Nack(interest=interest, reason=NackReason.NO_ROUTE)
+        return interest.nack(NackReason.NO_ROUTE)
 
     def make_data(self, name: "Name | str", content: "bytes | str",
                   freshness_period: Optional[float] = None) -> Data:

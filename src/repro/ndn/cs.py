@@ -16,6 +16,10 @@ Eviction policies: LRU (default), LFU and FIFO.  All three evict in O(1):
 ``can_be_prefix`` lookups and prefix erasure descend a shared
 :class:`~repro.ndn.nametree.NameTree` index instead of scanning every entry,
 so their cost is bounded by the matching subtree, not the store size.
+
+The store is transport-agnostic: entries and lookups may be decoded packets
+or :class:`~repro.ndn.packet.WirePacket` views — a transiting Data is cached
+and re-served as its wire buffer without ever being decoded on this node.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from typing import Callable, Optional
 from repro.exceptions import NDNError
 from repro.ndn.name import Name
 from repro.ndn.nametree import NameTree, as_name
-from repro.ndn.packet import Data, Interest
+from repro.ndn.packet import DataLike, InterestLike
 
 __all__ = ["CachePolicy", "ContentStore", "CsEntry"]
 
@@ -43,9 +47,9 @@ class CachePolicy(str, Enum):
 
 @dataclass
 class CsEntry:
-    """One cached Data packet plus bookkeeping."""
+    """One cached Data packet (object or wire view) plus bookkeeping."""
 
-    data: Data
+    data: DataLike
     arrival_time: float
     last_access: float
     hits: int = 0
@@ -103,7 +107,7 @@ class ContentStore:
 
     # -- insertion -----------------------------------------------------------
 
-    def insert(self, data: Data) -> None:
+    def insert(self, data: DataLike) -> None:
         """Cache ``data`` (no-op when capacity is zero)."""
         if self.capacity == 0:
             return
@@ -182,7 +186,7 @@ class ContentStore:
 
     # -- lookup ----------------------------------------------------------------
 
-    def find(self, interest: Interest) -> Optional[Data]:
+    def find(self, interest: InterestLike) -> Optional[DataLike]:
         """Return cached Data satisfying ``interest``, or ``None``.
 
         Exact-name lookups are O(1); prefix lookups descend the name-tree
@@ -206,12 +210,12 @@ class ContentStore:
             return None
         return self._hit(item[1], now, item[0])
 
-    def _acceptable(self, entry: CsEntry, interest: Interest, now: float) -> bool:
+    def _acceptable(self, entry: CsEntry, interest: InterestLike, now: float) -> bool:
         if interest.must_be_fresh and not entry.is_fresh(now):
             return False
         return True
 
-    def _hit(self, entry: CsEntry, now: float, name: Name) -> Data:
+    def _hit(self, entry: CsEntry, now: float, name: Name) -> DataLike:
         if self._is_lru:
             self._entries.move_to_end(name)
         elif self._is_lfu:

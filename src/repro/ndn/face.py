@@ -1,48 +1,90 @@
-"""Faces: the forwarder's attachment points.
+"""Faces: the forwarder's attachment points, carrying wire buffers.
 
 A *face* is the NDN generalisation of an interface: packets are sent out of a
-face and arrive on the peer face at the other end.  Two kinds are provided:
+face and arrive on the peer face at the other end.  The transport contract is
+**bytes-first**: ``send()`` and ``deliver()`` carry
+:class:`~repro.ndn.packet.WirePacket` views — the encoded buffer plus a lazy
+header parser — so forwarding a packet across a node never re-encodes it and
+intermediate hops never materialise full packet objects.  Link sizing and the
+byte counters both read ``len(wire)`` directly.
+
+Two kinds of face are provided:
 
 * :class:`NetworkFace` — one end of a point-to-point link between two packet
   endpoints (forwarders, gateways, clients); delivery is delayed by the link's
-  propagation latency and serialisation time.
+  propagation latency and serialisation time for the wire buffer.
 * :class:`LocalFace` — an application face inside a node (zero or negligible
   delay), used by producers, consumers and the LIDC gateway.
 
 Every endpoint that owns faces must implement the small
 :class:`PacketEndpoint` protocol: ``add_face(face) -> int`` and
-``receive_packet(packet, face) -> None``.
+``receive_packet(packet, face) -> None``.  Endpoints that understand wire
+views set ``accepts_wire_packets = True`` and receive the
+:class:`~repro.ndn.packet.WirePacket` itself; for every other endpoint a
+compatibility shim decodes on delivery and hands over the bare
+``Interest``/``Data``/``Nack`` object, so out-of-tree endpoints keep working
+for one release.  ``send()`` symmetrically accepts bare packet objects and
+wraps them (via the sender's cached wire form) on entry.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Optional, Protocol, Union
 
 from repro.exceptions import NDNError
-from repro.ndn.packet import Data, Interest, Nack
+from repro.ndn.packet import Data, Interest, Nack, WirePacket
+from repro.ndn.tlv import TlvTypes
 from repro.sim.engine import Environment
 from repro.sim.topology import Link
 
-__all__ = ["Packet", "PacketEndpoint", "FaceStats", "Face", "LocalFace", "NetworkFace", "connect"]
+__all__ = [
+    "Packet",
+    "AnyPacket",
+    "PacketEndpoint",
+    "FaceStats",
+    "Face",
+    "LocalFace",
+    "NetworkFace",
+    "connect",
+]
 
-#: Union of every packet type a face can carry.
+#: Union of every decoded packet type a face can carry.
 Packet = Union[Interest, Data, Nack]
+
+#: What ``send()``/``deliver()`` accept: a wire view or a bare packet object.
+AnyPacket = Union[WirePacket, Interest, Data, Nack]
+
+# TLV types used for stat dispatch, bound locally for the per-packet hot path.
+_INTEREST_TYPE = TlvTypes.INTEREST
+_DATA_TYPE = TlvTypes.DATA
 
 
 class PacketEndpoint(Protocol):
-    """Anything that can own faces and receive packets from them."""
+    """Anything that can own faces and receive packets from them.
+
+    Endpoints with ``accepts_wire_packets = True`` receive the
+    :class:`~repro.ndn.packet.WirePacket`; all others receive the decoded
+    packet object via the delivery compat shim (deprecated — migrate to wire
+    views; the shim is kept for one release).
+    """
 
     def add_face(self, face: "Face") -> int:  # pragma: no cover - protocol
         ...
 
-    def receive_packet(self, packet: Packet, face: "Face") -> None:  # pragma: no cover
+    def receive_packet(self, packet: AnyPacket, face: "Face") -> None:  # pragma: no cover
         ...
 
 
 @dataclass
 class FaceStats:
-    """Per-face packet and byte counters."""
+    """Per-face packet, byte and drop counters.
+
+    Byte counters are ``len(wire)`` of the transiting buffer — no encoder
+    walk.  ``drops`` counts packets discarded because the face was down at
+    send or delivery time, so experiments can report loss instead of
+    silently eating packets.
+    """
 
     interests_out: int = 0
     interests_in: int = 0
@@ -52,28 +94,35 @@ class FaceStats:
     nacks_in: int = 0
     bytes_out: int = 0
     bytes_in: int = 0
+    drops: int = 0
 
-    def record_out(self, packet: Packet) -> None:
+    def record_out(self, packet: WirePacket) -> None:
         self.bytes_out += packet.size
-        if isinstance(packet, Interest):
+        packet_type = packet.packet_type
+        if packet_type == _INTEREST_TYPE:
             self.interests_out += 1
-        elif isinstance(packet, Data):
+        elif packet_type == _DATA_TYPE:
             self.data_out += 1
         else:
             self.nacks_out += 1
 
-    def record_in(self, packet: Packet) -> None:
+    def record_in(self, packet: WirePacket) -> None:
         self.bytes_in += packet.size
-        if isinstance(packet, Interest):
+        packet_type = packet.packet_type
+        if packet_type == _INTEREST_TYPE:
             self.interests_in += 1
-        elif isinstance(packet, Data):
+        elif packet_type == _DATA_TYPE:
             self.data_in += 1
         else:
             self.nacks_in += 1
 
+    def as_dict(self) -> dict[str, int]:
+        """Counter snapshot for per-face stats reporting."""
+        return asdict(self)
+
 
 class Face:
-    """Base face: owned by an endpoint, delivers to a peer face."""
+    """Base face: owned by an endpoint, delivers wire packets to a peer face."""
 
     def __init__(self, env: Environment, owner: PacketEndpoint, label: str = "") -> None:
         self.env = env
@@ -83,6 +132,9 @@ class Face:
         self.peer: Optional["Face"] = None
         self.stats = FaceStats()
         self.up = True
+        # Resolved once: whether deliveries hand over the wire view or the
+        # decoded object (legacy endpoints, via the compat shim).
+        self._owner_accepts_wire = bool(getattr(owner, "accepts_wire_packets", False))
 
     def attach(self) -> int:
         """Register this face with its owner; records the assigned id."""
@@ -94,24 +146,39 @@ class Face:
 
     # -- sending ---------------------------------------------------------------
 
-    def send(self, packet: Packet) -> None:
-        """Send ``packet`` towards the peer endpoint."""
+    def send(self, packet: AnyPacket) -> None:
+        """Send ``packet`` towards the peer endpoint.
+
+        Bare ``Interest``/``Data``/``Nack`` objects are wrapped into
+        :class:`~repro.ndn.packet.WirePacket` views here, constructed once
+        from the sender's cached wire form.
+        """
         if not self.up:
+            # Count the drop before wrapping: no point encoding (and for
+            # unsigned Data, signing) a packet that dies right here.
+            self.stats.drops += 1
             return
         if self.peer is None:
             raise NDNError(f"face {self.label or self.face_id} has no peer")
-        self.stats.record_out(packet)
-        self._transmit(packet)
+        wire_packet = WirePacket.of(packet)
+        self.stats.record_out(wire_packet)
+        self._transmit(wire_packet)
 
-    def _transmit(self, packet: Packet) -> None:
+    def _transmit(self, packet: WirePacket) -> None:
         raise NotImplementedError
 
-    def deliver(self, packet: Packet) -> None:
+    def deliver(self, packet: AnyPacket) -> None:
         """Called by the peer when a packet arrives on this face."""
         if not self.up:
+            self.stats.drops += 1
             return
-        self.stats.record_in(packet)
-        self.owner.receive_packet(packet, self)
+        wire_packet = WirePacket.of(packet)
+        self.stats.record_in(wire_packet)
+        if self._owner_accepts_wire:
+            self.owner.receive_packet(wire_packet, self)
+        else:
+            # Compat shim: legacy endpoints get the decoded object.
+            self.owner.receive_packet(wire_packet.decode(), self)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -138,7 +205,7 @@ class LocalFace(Face):
         super().__init__(env, owner, label)
         self.delay_s = delay_s
 
-    def _transmit(self, packet: Packet) -> None:
+    def _transmit(self, packet: WirePacket) -> None:
         peer = self.peer
         assert peer is not None
         if self.delay_s <= 0:
@@ -165,10 +232,10 @@ class NetworkFace(Face):
         super().__init__(env, owner, label)
         self.link = link or Link("a", "b", latency_s=0.001, bandwidth_bps=1e9)
 
-    def _transmit(self, packet: Packet) -> None:
+    def _transmit(self, packet: WirePacket) -> None:
         peer = self.peer
         assert peer is not None
-        delay = self.link.transfer_time(packet.size)
+        delay = self.link.transfer_time_packet(packet)
 
         def _deliver():
             yield self.env.timeout(delay)
@@ -187,12 +254,14 @@ def connect(
 ) -> tuple[Face, Face]:
     """Create a pair of peered faces between two endpoints.
 
-    Returns ``(face_on_a, face_on_b)``; both are already attached to their
-    owners and peered with each other.
+    ``link`` is passed through to :class:`NetworkFace` and any subclass of
+    it; face classes without a link model (e.g. :class:`LocalFace`) ignore
+    it.  Returns ``(face_on_a, face_on_b)``; both are already attached to
+    their owners and peered with each other.
     """
-    if face_cls is NetworkFace:
-        face_a: Face = NetworkFace(env, endpoint_a, link=link, label=f"{label}:a")
-        face_b: Face = NetworkFace(env, endpoint_b, link=link, label=f"{label}:b")
+    if isinstance(face_cls, type) and issubclass(face_cls, NetworkFace):
+        face_a: Face = face_cls(env, endpoint_a, link=link, label=f"{label}:a")
+        face_b: Face = face_cls(env, endpoint_b, link=link, label=f"{label}:b")
     else:
         face_a = face_cls(env, endpoint_a, label=f"{label}:a")
         face_b = face_cls(env, endpoint_b, label=f"{label}:b")

@@ -15,6 +15,14 @@ Data pipeline
 Nack pipeline
     retry on an alternative next hop if the strategy has one left, otherwise
     propagate the NACK downstream and erase the PIT entry.
+
+All three pipelines operate on :class:`~repro.ndn.packet.WirePacket` views:
+PIT/CS/FIB lookups are driven off the view's lazily-parsed name and header
+flags, forwarded Data and Nacks re-transmit the original wire buffer, and
+the per-hop Interest copy patches the hop-limit byte in place of a decode →
+re-encode cycle.  A transiting packet is never fully decoded on this node;
+only application endpoints (producer handlers, consumers) materialise
+packet objects.
 """
 
 from __future__ import annotations
@@ -23,13 +31,14 @@ from typing import Callable, Optional
 
 from repro.exceptions import NDNError
 from repro.ndn.cs import CachePolicy, ContentStore
-from repro.ndn.face import Face, LocalFace, Packet
+from repro.ndn.face import AnyPacket, Face, LocalFace
 from repro.ndn.fib import Fib
 from repro.ndn.name import Name
 from repro.ndn.nametree import as_name
-from repro.ndn.packet import Data, Interest, Nack, NackReason
+from repro.ndn.packet import InterestLike, NackReason, WirePacket
 from repro.ndn.pit import PendingInterestTable
 from repro.ndn.strategy import Strategy, StrategyChoiceTable
+from repro.ndn.tlv import TlvTypes
 from repro.sim.engine import Environment
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.trace import Tracer
@@ -52,6 +61,9 @@ class Forwarder:
         Whether Data arriving with no matching PIT entry is still cached
         (useful for repo-style producers).
     """
+
+    #: Faces hand this endpoint the WirePacket view, not decoded objects.
+    accepts_wire_packets = True
 
     def __init__(
         self,
@@ -126,18 +138,22 @@ class Forwarder:
     def attach_producer(
         self,
         prefix: "Name | str",
-        handler: Callable[[Interest], "Data | Nack | None"],
+        handler: Callable[[InterestLike], "AnyPacket | None"],
         delay_s: float = 0.0,
     ) -> Face:
         """Attach an application producer.
 
-        ``handler`` is invoked for each Interest reaching the prefix; it may
-        return a :class:`Data` (sent back immediately), a :class:`Nack`, or
-        ``None`` (the application will answer later through the returned
-        face's ``send``).
+        ``handler`` is invoked for each Interest reaching the prefix with a
+        lazy :class:`~repro.ndn.packet.WirePacket` view (read every Interest
+        field directly, or call ``.decode()`` for the full object); it may
+        return a :class:`Data` or :class:`Nack` — object or wire view —
+        (sent back immediately) or ``None`` (the application will answer
+        later through the returned face's ``send``).
         """
 
         class _ProducerEndpoint:
+            accepts_wire_packets = True
+
             def __init__(self, outer: "Forwarder") -> None:
                 self._outer = outer
                 self.face: Optional[Face] = None
@@ -145,8 +161,8 @@ class Forwarder:
             def add_face(self, face: Face) -> int:
                 return 0  # application side does not number its faces
 
-            def receive_packet(self, packet: Packet, face: Face) -> None:
-                if isinstance(packet, Interest):
+            def receive_packet(self, packet: WirePacket, face: Face) -> None:
+                if packet.packet_type == TlvTypes.INTEREST:
                     response = handler(packet)
                     if response is not None:
                         face.send(response)
@@ -163,25 +179,31 @@ class Forwarder:
 
     # ------------------------------------------------------------- packet I/O
 
-    def receive_packet(self, packet: Packet, face: Face) -> None:
-        """Entry point for every packet arriving on one of our faces."""
+    def receive_packet(self, packet: AnyPacket, face: Face) -> None:
+        """Entry point for every packet arriving on one of our faces.
+
+        Accepts a wire view (the transport contract) or, for compatibility,
+        a bare packet object, which is wrapped on entry.
+        """
+        wire_packet = WirePacket.of(packet)
         for expired in self.pit.expire():
             # Forget which upstreams were tried so later retransmissions start fresh.
             self._tried.pop(expired.name, None)
-        if isinstance(packet, Interest):
-            self._process_interest(packet, face)
-        elif isinstance(packet, Data):
-            self._process_data(packet, face)
-        elif isinstance(packet, Nack):
-            self._process_nack(packet, face)
+        packet_type = wire_packet.packet_type
+        if packet_type == TlvTypes.INTEREST:
+            self._process_interest(wire_packet, face)
+        elif packet_type == TlvTypes.DATA:
+            self._process_data(wire_packet, face)
+        elif packet_type == TlvTypes.NACK:
+            self._process_nack(wire_packet, face)
         else:  # pragma: no cover - defensive
-            raise NDNError(f"{self.name}: unknown packet type {type(packet)!r}")
+            raise NDNError(f"{self.name}: unknown packet type {packet_type:#x}")
 
     # Interest pipeline ------------------------------------------------------
 
-    def _process_interest(self, interest: Interest, in_face: Face) -> None:
+    def _process_interest(self, interest: WirePacket, in_face: Face) -> None:
         self.metrics.counter("interests_received").inc()
-        self.tracer.record("interest", "in", name=str(interest.name), face=in_face.face_id)
+        self.tracer.record("interest", "in", name=interest.name, face=in_face.face_id)
 
         if interest.hop_limit <= 0:
             self.metrics.counter("interests_dropped_hop_limit").inc()
@@ -189,13 +211,13 @@ class Forwarder:
 
         if self.pit.is_duplicate_nonce(interest):
             self.metrics.counter("interests_duplicate").inc()
-            in_face.send(Nack(interest=interest, reason=NackReason.DUPLICATE))
+            in_face.send(interest.nack(NackReason.DUPLICATE))
             return
 
         cached = self.cs.find(interest)
         if cached is not None:
             self.metrics.counter("cs_hits").inc()
-            self.tracer.record("interest", "cs-hit", name=str(interest.name))
+            self.tracer.record("interest", "cs-hit", name=interest.name)
             in_face.send(cached)
             return
 
@@ -207,7 +229,7 @@ class Forwarder:
 
         self._forward_interest(interest, in_face.face_id)
 
-    def _forward_interest(self, interest: Interest, in_face_id: int) -> None:
+    def _forward_interest(self, interest: WirePacket, in_face_id: int) -> None:
         fib_entry = self.fib.lookup(interest.name)
         if fib_entry is None:
             self._reject(interest, NackReason.NO_ROUTE)
@@ -229,27 +251,33 @@ class Forwarder:
             self._tried.setdefault(interest.name, set()).add(face_id)
             self.pit.record_out(forwarded, face_id)
             self.metrics.counter("interests_forwarded").inc()
-            self.tracer.record("interest", "out", name=str(interest.name), face=face_id)
+            self.tracer.record("interest", "out", name=interest.name, face=face_id)
             self._faces[face_id].send(forwarded)
 
-    def _reject(self, interest: Interest, reason: int) -> None:
+    def _reject(self, interest: WirePacket, reason: int) -> None:
         """NACK every downstream face waiting on ``interest`` and drop the entry."""
         entry = self.pit.find_exact(interest)
         downstream = entry.downstream_faces() if entry else []
         self.pit.remove(interest)
         self._tried.pop(interest.name, None)
         self.metrics.counter("interests_nacked").inc()
-        self.tracer.record("interest", "nack", name=str(interest.name), reason=reason)
+        self.tracer.record("interest", "nack", name=interest.name, reason=reason)
+        nack = interest.nack(reason) if downstream else None
         for face_id in downstream:
             face = self._faces.get(face_id)
-            if face is not None and face.up:
-                face.send(Nack(interest=interest, reason=reason))
+            if face is None:
+                continue
+            if not face.up:
+                # Count the loss: the downstream asked and will never hear back.
+                face.stats.drops += 1
+                continue
+            face.send(nack)
 
     # Data pipeline --------------------------------------------------------------
 
-    def _process_data(self, data: Data, in_face: Face) -> None:
+    def _process_data(self, data: WirePacket, in_face: Face) -> None:
         self.metrics.counter("data_received").inc()
-        self.tracer.record("data", "in", name=str(data.name), face=in_face.face_id)
+        self.tracer.record("data", "in", name=data.name, face=in_face.face_id)
 
         downstream = self.pit.satisfy(data)
         if not downstream:
@@ -264,16 +292,23 @@ class Forwarder:
             if face_id == in_face.face_id:
                 continue
             face = self._faces.get(face_id)
-            if face is not None and face.up:
-                self.metrics.counter("data_forwarded").inc()
-                self.tracer.record("data", "out", name=str(data.name), face=face_id)
-                face.send(data)
+            if face is None:
+                continue
+            if not face.up:
+                # A down downstream face loses the Data: count it as a drop
+                # so experiments report loss instead of silently eating it.
+                face.stats.drops += 1
+                continue
+            self.metrics.counter("data_forwarded").inc()
+            self.tracer.record("data", "out", name=data.name, face=face_id)
+            face.send(data)
 
     # Nack pipeline ----------------------------------------------------------------
 
-    def _process_nack(self, nack: Nack, in_face: Face) -> None:
+    def _process_nack(self, nack: WirePacket, in_face: Face) -> None:
         self.metrics.counter("nacks_received").inc()
-        self.tracer.record("nack", "in", name=str(nack.name), reason=nack.reason)
+        self.tracer.record("nack", "in", name=nack.name, reason=nack.reason)
+        # The enclosed Interest as a wire view over the Nack's own buffer.
         interest = nack.interest
         entry = self.pit.find_exact(interest)
         if entry is None:
@@ -296,10 +331,10 @@ class Forwarder:
                     self._tried.setdefault(interest.name, set()).add(face_id)
                     self.pit.record_out(forwarded, face_id)
                     self.metrics.counter("nack_retries").inc()
-                    self.tracer.record("nack", "retry", name=str(interest.name), face=face_id)
+                    self.tracer.record("nack", "retry", name=interest.name, face=face_id)
                     self._faces[face_id].send(forwarded)
                 return
-        # No alternative: propagate downstream.
+        # No alternative: propagate the NACK's own wire buffer downstream.
         downstream = entry.downstream_faces()
         self.pit.remove(interest)
         self._tried.pop(interest.name, None)
@@ -307,17 +342,26 @@ class Forwarder:
             if face_id == in_face.face_id:
                 continue
             face = self._faces.get(face_id)
-            if face is not None and face.up:
-                self.metrics.counter("nacks_forwarded").inc()
-                face.send(Nack(interest=interest, reason=nack.reason))
+            if face is None:
+                continue
+            if not face.up:
+                face.stats.drops += 1
+                continue
+            self.metrics.counter("nacks_forwarded").inc()
+            face.send(nack)
 
     # ------------------------------------------------------------------- misc
+
+    def face_stats(self) -> dict[int, dict[str, int]]:
+        """Per-face counter snapshots (packets, ``len(wire)`` bytes, drops)."""
+        return {face_id: face.stats.as_dict() for face_id, face in self._faces.items()}
 
     def stats(self) -> dict[str, object]:
         """A snapshot of forwarder state used by tests and benchmarks."""
         return {
             "name": self.name,
             "faces": len(self._faces),
+            "face_stats": self.face_stats(),
             "fib_entries": len(self.fib),
             "pit_entries": len(self.pit),
             "cs": self.cs.stats(),

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import secrets
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Union
 
 from repro.exceptions import TLVDecodeError, VerificationError
 from repro.ndn.name import Component, Name
@@ -24,11 +24,22 @@ from repro.ndn.tlv import (
     decode_all,
     decode_nonneg_int,
     decode_tlv,
+    decode_tlv_header,
     encode_nonneg_int,
     encode_tlv,
+    scan_tlv_spans,
 )
 
-__all__ = ["Interest", "Data", "Nack", "NackReason", "ContentType"]
+__all__ = [
+    "Interest",
+    "Data",
+    "Nack",
+    "NackReason",
+    "ContentType",
+    "WirePacket",
+    "InterestLike",
+    "DataLike",
+]
 
 #: Default Interest lifetime (seconds); mirrors NDN's 4-second default.
 DEFAULT_INTEREST_LIFETIME = 4.0
@@ -65,13 +76,29 @@ def _encode_name(name: Name) -> bytes:
     return encode_tlv(TlvTypes.NAME, body)
 
 
-def _decode_name(value: bytes) -> Name:
+def _decode_name_span(buffer: bytes, start: int, end: int) -> Name:
+    """Parse the components of a Name TLV's value in ``buffer[start:end]``.
+
+    Single parser for both the object decoders and the zero-copy
+    :class:`WirePacket` view, which hands in spans of its wire buffer.
+    """
     components = []
-    for block in decode_all(value):
-        if block.type != TlvTypes.GENERIC_NAME_COMPONENT:
-            raise TLVDecodeError(f"unexpected TLV {block.type} inside Name")
-        components.append(Component(block.value))
+    offset = start
+    while offset < end:
+        comp_type, value_start, value_end = decode_tlv_header(buffer, offset)
+        if comp_type != TlvTypes.GENERIC_NAME_COMPONENT:
+            raise TLVDecodeError(f"unexpected TLV {comp_type} inside Name")
+        if value_end > end:
+            # The header check only bounds against the whole buffer; a
+            # component must not overrun its enclosing Name TLV either.
+            raise TLVDecodeError("name component extends past the Name TLV")
+        components.append(Component(buffer[value_start:value_end]))
+        offset = value_end
     return Name(components)
+
+
+def _decode_name(value: bytes) -> Name:
+    return _decode_name_span(value, 0, len(value))
 
 
 @dataclass
@@ -125,8 +152,13 @@ class Interest:
         if self.must_be_fresh:
             body += encode_tlv(TlvTypes.MUST_BE_FRESH, b"")
         body += encode_tlv(TlvTypes.NONCE, self.nonce.to_bytes(4, "big"))
+        # round(), not int(): truncation would re-encode a decoded packet to
+        # different bytes (ms/1000*1000 can land just below the integer).
+        # Floor at 1 ms: a 0 ms lifetime on the wire would be rejected by the
+        # endpoint's decode even though every transit hop accepted it.
         body += encode_tlv(
-            TlvTypes.INTEREST_LIFETIME, encode_nonneg_int(int(self.lifetime * 1000))
+            TlvTypes.INTEREST_LIFETIME,
+            encode_nonneg_int(max(1, round(self.lifetime * 1000))),
         )
         body += encode_tlv(TlvTypes.HOP_LIMIT, bytes([self.hop_limit]))
         if self.application_parameters:
@@ -178,6 +210,14 @@ class Interest:
         """Wire size in bytes (used by the topology transfer model)."""
         return len(self.encode())
 
+    def nack(self, reason: int = NackReason.NONE) -> "Nack":
+        """A network NACK answering this Interest.
+
+        Mirrors :meth:`WirePacket.nack`, so handlers can reject either a
+        decoded Interest or a lazy wire view with the same call.
+        """
+        return Nack(interest=self, reason=reason)
+
     def __repr__(self) -> str:
         return f"Interest({self.name.to_uri()!r}, nonce={self.nonce:#010x})"
 
@@ -207,8 +247,10 @@ class Data:
     def _signed_portion(self) -> bytes:
         body = _encode_name(self.name)
         body += encode_tlv(TlvTypes.CONTENT_TYPE, encode_nonneg_int(self.content_type))
+        # round(), not int(): a decoded Data must re-encode (and re-verify)
+        # to the exact bytes it arrived as.
         body += encode_tlv(
-            TlvTypes.FRESHNESS_PERIOD, encode_nonneg_int(int(self.freshness_period * 1000))
+            TlvTypes.FRESHNESS_PERIOD, encode_nonneg_int(round(self.freshness_period * 1000))
         )
         if self.final_block_id is not None:
             body += encode_tlv(TlvTypes.FINAL_BLOCK_ID, self.final_block_id.value)
@@ -364,3 +406,344 @@ class Nack:
 
     def __repr__(self) -> str:
         return f"Nack({self.name.to_uri()!r}, {NackReason.label(self.reason)})"
+
+
+class WirePacket:
+    """A zero-copy, lazy-decode view over one encoded NDN packet.
+
+    This is the unit the transport plane carries: faces transmit the wire
+    buffer itself, and every header question a forwarder asks in transit —
+    ``packet_type``, ``name``, ``can_be_prefix``, ``must_be_fresh``,
+    ``nonce``, ``hop_limit``, ``freshness_period``, a Nack's ``reason`` —
+    is answered by a single shallow TLV walk over the buffer, caching byte
+    spans rather than materialising packet objects.  :meth:`decode` builds
+    the full :class:`Interest` / :class:`Data` / :class:`Nack` on demand
+    (application endpoints do this; intermediate hops never need to), and
+    :attr:`wire` returns the original buffer for re-transmit, so forwarding
+    never re-encodes.
+
+    Views built from an in-process packet (:meth:`of`) keep a reference to
+    it, making :meth:`decode` free on the same node; views built from raw
+    bytes parse at most once.  ``WirePacket.wire_decodes`` counts the
+    wire-level full decodes that actually ran — benchmarks use it to assert
+    that transit stays bytes-only — and ``WirePacket.decode_hook``, when
+    set, observes each one.
+    """
+
+    __slots__ = (
+        "_buf",
+        "_start",
+        "_end",
+        "_wire",
+        "_decoded",
+        "_type",
+        "_body_start",
+        "_body_end",
+        "_spans",
+        "_name",
+        "_nack_interest",
+    )
+
+    #: Class-level count of full decodes that had to parse the wire
+    #: (cached-object returns are free and not counted).
+    wire_decodes: int = 0
+    #: Optional observer called with the view after each counted wire decode.
+    decode_hook = None
+
+    def __init__(
+        self,
+        wire: bytes,
+        decoded: "Interest | Data | Nack | None" = None,
+        _start: int = 0,
+        _end: Optional[int] = None,
+    ) -> None:
+        self._buf = wire
+        self._start = _start
+        self._end = len(wire) if _end is None else _end
+        self._wire: Optional[bytes] = (
+            wire if (_start == 0 and self._end == len(wire)) else None
+        )
+        self._decoded = decoded
+        self._type: Optional[int] = None
+        self._body_start = -1
+        self._body_end = -1
+        self._spans: "dict[int, tuple[int, int, int]] | None" = None
+        self._name: Optional[Name] = None
+        self._nack_interest: "WirePacket | None" = None
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def of(cls, packet: "Interest | Data | Nack | WirePacket") -> "WirePacket":
+        """Wrap ``packet`` as a wire view (no-op when already one).
+
+        Uses the packet's cached wire form and remembers the object, so a
+        later :meth:`decode` on the same node costs nothing.
+        """
+        if isinstance(packet, WirePacket):
+            return packet
+        return cls(packet.encode(), decoded=packet)
+
+    # -- buffer access --------------------------------------------------------
+
+    @property
+    def wire(self) -> bytes:
+        """The encoded packet bytes (the buffer handed to ``Face.send``)."""
+        if self._wire is None:
+            self._wire = self._buf[self._start:self._end]
+        return self._wire
+
+    def encode(self) -> bytes:
+        """Alias for :attr:`wire` (duck-compatible with packet objects)."""
+        return self.wire
+
+    @property
+    def size(self) -> int:
+        """Wire size in bytes — ``len(wire)`` with no encoding walk."""
+        return self._end - self._start
+
+    # -- lazy header parsing --------------------------------------------------
+
+    def _header(self) -> int:
+        if self._type is None:
+            type_number, value_start, value_end = decode_tlv_header(self._buf, self._start)
+            if value_end > self._end:
+                raise TLVDecodeError("packet TLV extends past the wire buffer")
+            self._type = type_number
+            self._body_start = value_start
+            self._body_end = value_end
+        return self._type
+
+    def _scan(self) -> dict[int, tuple[int, int, int]]:
+        """Byte spans of the packet's top-level TLV fields (one shallow walk)."""
+        if self._spans is None:
+            self._header()
+            self._spans = scan_tlv_spans(self._buf, self._body_start, self._body_end)
+        return self._spans
+
+    def _require(self, expected: int, what: str) -> None:
+        actual = self._header()
+        if actual != expected:
+            raise TLVDecodeError(
+                f"{what} requested from a packet of TLV type {actual:#x}"
+            )
+
+    # -- type dispatch --------------------------------------------------------
+
+    @property
+    def packet_type(self) -> int:
+        """The outer TLV type (``TlvTypes.INTEREST`` / ``DATA`` / ``NACK``)."""
+        return self._header()
+
+    @property
+    def is_interest(self) -> bool:
+        return self._header() == TlvTypes.INTEREST
+
+    @property
+    def is_data(self) -> bool:
+        return self._header() == TlvTypes.DATA
+
+    @property
+    def is_nack(self) -> bool:
+        return self._header() == TlvTypes.NACK
+
+    # -- lazy fields ----------------------------------------------------------
+
+    @property
+    def name(self) -> Name:
+        """The packet name (a Nack exposes its enclosed Interest's name)."""
+        if self._name is None:
+            if self._decoded is not None:
+                self._name = self._decoded.name
+            elif self._header() == TlvTypes.NACK:
+                self._name = self.interest.name
+            else:
+                span = self._scan().get(TlvTypes.NAME)
+                if span is None:
+                    raise TLVDecodeError("packet without a Name")
+                self._name = _decode_name_span(self._buf, span[1], span[2])
+        return self._name
+
+    def _value(self, type_number: int) -> Optional[bytes]:
+        span = self._scan().get(type_number)
+        if span is None:
+            return None
+        return self._buf[span[1]:span[2]]
+
+    @property
+    def can_be_prefix(self) -> bool:
+        if self._decoded is not None:
+            return self._decoded.can_be_prefix
+        self._require(TlvTypes.INTEREST, "can_be_prefix")
+        return TlvTypes.CAN_BE_PREFIX in self._scan()
+
+    @property
+    def must_be_fresh(self) -> bool:
+        if self._decoded is not None:
+            return self._decoded.must_be_fresh
+        self._require(TlvTypes.INTEREST, "must_be_fresh")
+        return TlvTypes.MUST_BE_FRESH in self._scan()
+
+    @property
+    def nonce(self) -> int:
+        if self._decoded is not None:
+            return self._decoded.nonce
+        self._require(TlvTypes.INTEREST, "nonce")
+        value = self._value(TlvTypes.NONCE)
+        return int.from_bytes(value, "big") if value else 0
+
+    @property
+    def lifetime(self) -> float:
+        if self._decoded is not None:
+            return self._decoded.lifetime
+        self._require(TlvTypes.INTEREST, "lifetime")
+        value = self._value(TlvTypes.INTEREST_LIFETIME)
+        return decode_nonneg_int(value) / 1000.0 if value else DEFAULT_INTEREST_LIFETIME
+
+    @property
+    def hop_limit(self) -> int:
+        if self._decoded is not None:
+            return self._decoded.hop_limit
+        self._require(TlvTypes.INTEREST, "hop_limit")
+        span = self._scan().get(TlvTypes.HOP_LIMIT)
+        if span is None:
+            return 255
+        if span[2] - span[1] != 1:
+            raise TLVDecodeError(f"hop limit TLV must be 1 byte, got {span[2] - span[1]}")
+        return self._buf[span[1]]
+
+    @property
+    def application_parameters(self) -> bytes:
+        if self._decoded is not None:
+            return self._decoded.application_parameters
+        self._require(TlvTypes.INTEREST, "application_parameters")
+        return self._value(TlvTypes.APPLICATION_PARAMETERS) or b""
+
+    @property
+    def freshness_period(self) -> float:
+        if self._decoded is not None:
+            return self._decoded.freshness_period
+        self._require(TlvTypes.DATA, "freshness_period")
+        value = self._value(TlvTypes.FRESHNESS_PERIOD)
+        return decode_nonneg_int(value) / 1000.0 if value else 0.0
+
+    @property
+    def reason(self) -> int:
+        if self._decoded is not None:
+            return self._decoded.reason
+        self._require(TlvTypes.NACK, "reason")
+        value = self._value(TlvTypes.NACK_REASON)
+        return decode_nonneg_int(value) if value else NackReason.NONE
+
+    @property
+    def interest(self) -> "WirePacket":
+        """A Nack's enclosed Interest as a wire view sharing this buffer."""
+        if self._nack_interest is None:
+            self._require(TlvTypes.NACK, "enclosed interest")
+            if self._decoded is not None:
+                self._nack_interest = WirePacket.of(self._decoded.interest)
+            else:
+                span = self._scan().get(TlvTypes.INTEREST)
+                if span is None:
+                    raise TLVDecodeError("Nack without an enclosed Interest")
+                self._nack_interest = WirePacket(self._buf, _start=span[0], _end=span[2])
+        return self._nack_interest
+
+    # -- Interest behaviour ---------------------------------------------------
+
+    def matches_data(self, data: "Data | WirePacket") -> bool:
+        """True when ``data`` satisfies this Interest view."""
+        if self.can_be_prefix:
+            return self.name.is_prefix_of(data.name)
+        return self.name == data.name
+
+    def with_decremented_hop_limit(self) -> "WirePacket":
+        """The per-hop Interest copy, produced by patching one wire byte.
+
+        The object path re-builds and re-encodes the whole Interest per hop;
+        here the hop-limit TLV's value byte is rewritten in a copy of the
+        buffer — one memcpy, no TLV re-walk — and the already-parsed name is
+        handed to the clone so downstream FIB/PIT lookups stay free.
+        """
+        self._require(TlvTypes.INTEREST, "hop limit decrement")
+        span = self._scan().get(TlvTypes.HOP_LIMIT)
+        if span is None or span[2] - span[1] != 1:
+            # No 1-byte hop-limit TLV on the wire: take the object path.
+            return WirePacket.of(self.decode().with_decremented_hop_limit())
+        patched = bytearray(self.wire)
+        position = span[1] - self._start
+        if patched[position] > 0:
+            patched[position] -= 1
+        clone = WirePacket(bytes(patched))
+        clone._name = self._name if self._name is not None else (
+            self._decoded.name if self._decoded is not None else None
+        )
+        # Only the hop-limit byte changed, so the clone's TLV layout is this
+        # view's layout re-based to offset 0 — hand the parse over instead of
+        # making the next hop walk the buffer again.
+        shift = self._start
+        clone._type = self._type
+        clone._body_start = self._body_start - shift
+        clone._body_end = self._body_end - shift
+        if shift == 0:
+            clone._spans = self._spans
+        else:
+            clone._spans = {
+                t: (a - shift, b - shift, c - shift)
+                for t, (a, b, c) in self._spans.items()
+            }
+        return clone
+
+    def nack(self, reason: int = NackReason.NONE) -> "WirePacket":
+        """A Nack wire packet enclosing this Interest's buffer verbatim."""
+        self._require(TlvTypes.INTEREST, "nack construction")
+        body = encode_tlv(TlvTypes.NACK_REASON, encode_nonneg_int(reason)) + self.wire
+        view = WirePacket(encode_tlv(TlvTypes.NACK, body))
+        view._nack_interest = self
+        return view
+
+    # -- full decode ----------------------------------------------------------
+
+    def decode(self) -> "Interest | Data | Nack":
+        """Materialise the full packet object (cached; parses at most once)."""
+        if self._decoded is None:
+            packet_type = self._header()
+            wire = self.wire
+            if packet_type == TlvTypes.INTEREST:
+                decoded: "Interest | Data | Nack" = Interest.decode(wire)
+            elif packet_type == TlvTypes.DATA:
+                decoded = Data.decode(wire)
+            elif packet_type == TlvTypes.NACK:
+                decoded = Nack.decode(wire)
+            else:
+                raise TLVDecodeError(f"unknown packet type {packet_type:#x}")
+            # Re-transmitting the decoded object must not re-encode.
+            decoded._wire = wire
+            self._decoded = decoded
+            WirePacket.wire_decodes += 1
+            hook = WirePacket.decode_hook
+            if hook is not None:
+                hook(self)
+        return self._decoded
+
+    @property
+    def is_decoded(self) -> bool:
+        """Whether a full packet object is already attached to this view."""
+        return self._decoded is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        try:
+            kind = {
+                TlvTypes.INTEREST: "Interest",
+                TlvTypes.DATA: "Data",
+                TlvTypes.NACK: "Nack",
+            }.get(self._header(), f"type={self._header():#x}")
+        except TLVDecodeError:
+            kind = "invalid"
+        return f"WirePacket<{kind}>({self.size} bytes)"
+
+
+#: Anything the Interest pipeline accepts: a decoded Interest or a wire view.
+InterestLike = Union[Interest, "WirePacket"]
+#: Anything the Data pipeline accepts: a decoded Data or a wire view.
+DataLike = Union[Data, "WirePacket"]

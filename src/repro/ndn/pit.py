@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
 from repro.ndn.name import Name
-from repro.ndn.packet import Data, Interest
+from repro.ndn.packet import DataLike, InterestLike
 
 __all__ = ["PitEntry", "PendingInterestTable"]
 
@@ -60,7 +60,7 @@ class PitEntry:
     def upstream_faces(self) -> list[int]:
         return list(self.out_records.keys())
 
-    def matches_data(self, data: Data) -> bool:
+    def matches_data(self, data: DataLike) -> bool:
         if self.can_be_prefix:
             return self.name.is_prefix_of(data.name)
         return self.name == data.name
@@ -90,7 +90,7 @@ class PendingInterestTable:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def _key(self, interest: Interest) -> tuple[Name, bool]:
+    def _key(self, interest: InterestLike) -> tuple[Name, bool]:
         return (interest.name, interest.can_be_prefix)
 
     def _push_expiry(self, key: tuple[Name, bool], when: float) -> None:
@@ -99,7 +99,7 @@ class PendingInterestTable:
 
     # -- Interest path -------------------------------------------------------
 
-    def insert(self, interest: Interest, in_face_id: int) -> tuple[PitEntry, bool]:
+    def insert(self, interest: InterestLike, in_face_id: int) -> tuple[PitEntry, bool]:
         """Record a downstream request.
 
         Returns ``(entry, is_new)``; ``is_new`` is False when the Interest was
@@ -120,12 +120,12 @@ class PendingInterestTable:
         self._push_expiry(key, expiry)
         return entry, is_new
 
-    def is_duplicate_nonce(self, interest: Interest) -> bool:
+    def is_duplicate_nonce(self, interest: InterestLike) -> bool:
         """Loop detection: same name with a nonce we have already seen."""
         entry = self._entries.get(self._key(interest))
         return entry is not None and interest.nonce in entry.nonces
 
-    def record_out(self, interest: Interest, out_face_id: int) -> None:
+    def record_out(self, interest: InterestLike, out_face_id: int) -> None:
         """Record that the Interest was forwarded upstream on ``out_face_id``."""
         key = self._key(interest)
         entry = self._entries.get(key)
@@ -139,7 +139,7 @@ class PendingInterestTable:
 
     # -- Data path -----------------------------------------------------------------
 
-    def _matching_keys(self, data: Data) -> list[tuple[Name, bool]]:
+    def _matching_keys(self, data: DataLike) -> list[tuple[Name, bool]]:
         """Keys of entries ``data`` satisfies, probing one key per prefix.
 
         An exact entry matches only under the full name; a prefix entry
@@ -157,11 +157,11 @@ class PendingInterestTable:
                 keys.append(key)
         return keys
 
-    def find_matching(self, data: Data) -> list[PitEntry]:
+    def find_matching(self, data: DataLike) -> list[PitEntry]:
         """All PIT entries satisfied by ``data`` (exact and prefix entries)."""
         return [self._entries[key] for key in self._matching_keys(data)]
 
-    def satisfy(self, data: Data) -> list[int]:
+    def satisfy(self, data: DataLike) -> list[int]:
         """Consume entries matched by ``data``; returns downstream face ids."""
         faces: list[int] = []
         for key in self._matching_keys(data):
@@ -172,10 +172,10 @@ class PendingInterestTable:
                     faces.append(face_id)
         return faces
 
-    def find_exact(self, interest: Interest) -> Optional[PitEntry]:
+    def find_exact(self, interest: InterestLike) -> Optional[PitEntry]:
         return self._entries.get(self._key(interest))
 
-    def remove(self, interest: Interest) -> None:
+    def remove(self, interest: InterestLike) -> None:
         self._entries.pop(self._key(interest), None)
 
     # -- maintenance ---------------------------------------------------------------

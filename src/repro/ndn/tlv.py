@@ -21,7 +21,9 @@ __all__ = [
     "decode_var_number",
     "encode_tlv",
     "decode_tlv",
+    "decode_tlv_header",
     "decode_all",
+    "scan_tlv_spans",
     "encode_nonneg_int",
     "decode_nonneg_int",
     "TlvBlock",
@@ -102,6 +104,17 @@ def encode_tlv(type_number: int, value: bytes) -> bytes:
 
 def decode_tlv(buffer: bytes, offset: int = 0) -> tuple[int, bytes, int]:
     """Decode one TLV block; returns ``(type, value, next_offset)``."""
+    type_number, value_start, value_end = decode_tlv_header(buffer, offset)
+    return type_number, buffer[value_start:value_end], value_end
+
+
+def decode_tlv_header(buffer: bytes, offset: int = 0) -> tuple[int, int, int]:
+    """Decode a TLV header only; returns ``(type, value_start, value_end)``.
+
+    Unlike :func:`decode_tlv` this never slices the value out of ``buffer``,
+    so callers that only need offsets (the zero-copy
+    :class:`~repro.ndn.packet.WirePacket` field scan) pay no copies.
+    """
     type_number, offset = decode_var_number(buffer, offset)
     length, offset = decode_var_number(buffer, offset)
     end = offset + length
@@ -110,7 +123,28 @@ def decode_tlv(buffer: bytes, offset: int = 0) -> tuple[int, bytes, int]:
             f"truncated TLV: type={type_number} wants {length} bytes, "
             f"only {len(buffer) - offset} available"
         )
-    return type_number, buffer[offset:end], end
+    return type_number, offset, end
+
+
+def scan_tlv_spans(buffer: bytes, start: int, end: int) -> dict[int, tuple[int, int, int]]:
+    """Shallow-walk the TLV blocks in ``buffer[start:end]`` without copying.
+
+    Returns ``{type: (block_start, value_start, value_end)}`` for the first
+    occurrence of each type — exactly what a lazy packet view needs to answer
+    header-field questions (name, nonce, freshness, ...) straight off the
+    wire buffer.
+    """
+    spans: dict[int, tuple[int, int, int]] = {}
+    offset = start
+    while offset < end:
+        block_start = offset
+        type_number, value_start, value_end = decode_tlv_header(buffer, offset)
+        if value_end > end:
+            raise TLVDecodeError(f"TLV type={type_number} extends past its enclosing block")
+        if type_number not in spans:
+            spans[type_number] = (block_start, value_start, value_end)
+        offset = value_end
+    return spans
 
 
 @dataclass(frozen=True)

@@ -46,6 +46,16 @@ class Link:
         serialisation = size_bytes / self.bandwidth_bps if self.bandwidth_bps > 0 else 0.0
         return self.latency_s + serialisation
 
+    def transfer_time_packet(self, packet) -> float:
+        """Transfer time for an encoded packet.
+
+        ``packet`` is anything exposing ``.size`` as its wire length — a
+        :class:`~repro.ndn.packet.WirePacket` view on the bytes-first
+        transport path (where size is ``len(wire)`` with no encoder walk)
+        or a decoded packet object.
+        """
+        return self.transfer_time(packet.size)
+
 
 class Topology:
     """A named graph of sites and links with shortest-path queries."""

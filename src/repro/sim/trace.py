@@ -40,10 +40,19 @@ class Tracer:
         self.events: list[TraceEvent] = []
 
     def record(self, category: str, event: str, **attrs: Any) -> Optional[TraceEvent]:
-        """Append a trace record stamped with the current simulated time."""
+        """Append a trace record stamped with the current simulated time.
+
+        Attribute values that are not primitives are stringified here — so
+        hot paths can pass rich objects (e.g. NDN names) and only pay the
+        formatting cost when tracing is actually enabled.
+        """
         if not self.enabled:
             return None
-        record = TraceEvent(time=self._clock(), category=category, event=event, attrs=dict(attrs))
+        attrs = {
+            key: value if isinstance(value, (str, int, float, bool, type(None))) else str(value)
+            for key, value in attrs.items()
+        }
+        record = TraceEvent(time=self._clock(), category=category, event=event, attrs=attrs)
         self.events.append(record)
         return record
 

@@ -1,0 +1,275 @@
+"""Wire round-trip and WirePacket lazy-view tests.
+
+Property-based encode → decode → encode identity for every packet type, plus
+equivalence of the lazy :class:`~repro.ndn.packet.WirePacket` fields against
+a full decode, and the decode-counter instrumentation the wire-path
+benchmark relies on.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import TLVDecodeError
+from repro.ndn.name import Name
+from repro.ndn.packet import (
+    Data,
+    Interest,
+    Nack,
+    NackReason,
+    WirePacket,
+)
+from repro.ndn.security import DigestSigner, HmacSigner
+from repro.ndn.tlv import TlvTypes
+
+# -- strategies ---------------------------------------------------------------
+
+component = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=12
+)
+names = st.lists(component, min_size=1, max_size=6).map(Name)
+
+interests = st.builds(
+    Interest,
+    name=names,
+    can_be_prefix=st.booleans(),
+    must_be_fresh=st.booleans(),
+    nonce=st.integers(min_value=0, max_value=2**32 - 1),
+    lifetime=st.floats(min_value=0.001, max_value=3600.0, allow_nan=False),
+    hop_limit=st.integers(min_value=0, max_value=255),
+    application_parameters=st.binary(max_size=64),
+)
+
+datas = st.builds(
+    Data,
+    name=names,
+    content=st.binary(max_size=256),
+    freshness_period=st.floats(min_value=0.0, max_value=3600.0, allow_nan=False),
+)
+
+
+def assert_ms_equal(left: float, right: float) -> None:
+    """Durations survive the codec at millisecond granularity."""
+    assert abs(left - right) < 0.002
+
+
+# -- encode → decode → encode identity ----------------------------------------
+
+
+class TestWireRoundTrips:
+    @given(interest=interests)
+    def test_interest_round_trip_identity(self, interest):
+        wire = interest.encode()
+        decoded = Interest.decode(wire)
+        assert decoded.name == interest.name
+        assert decoded.can_be_prefix == interest.can_be_prefix
+        assert decoded.must_be_fresh == interest.must_be_fresh
+        assert decoded.nonce == interest.nonce
+        assert decoded.hop_limit == interest.hop_limit
+        assert decoded.application_parameters == interest.application_parameters
+        assert_ms_equal(decoded.lifetime, interest.lifetime)
+        assert decoded.encode() == wire
+
+    @given(data=datas)
+    def test_data_round_trip_identity(self, data):
+        wire = data.encode()  # signs with the digest signer on first encode
+        decoded = Data.decode(wire)
+        assert decoded.name == data.name
+        assert decoded.content == data.content
+        assert_ms_equal(decoded.freshness_period, data.freshness_period)
+        assert decoded.is_signed
+        assert decoded.encode() == wire
+
+    @given(data=datas)
+    def test_hmac_signed_data_round_trip_identity(self, data):
+        data.sign(HmacSigner(key=b"secret", key_name="/keys/k1"))
+        wire = data.encode()
+        decoded = Data.decode(wire)
+        assert decoded.signature_value == data.signature_value
+        assert decoded.encode() == wire
+
+    @given(interest=interests, reason=st.sampled_from(
+        [NackReason.NONE, NackReason.CONGESTION, NackReason.DUPLICATE, NackReason.NO_ROUTE]
+    ))
+    def test_nack_round_trip_identity(self, interest, reason):
+        nack = Nack(interest=interest, reason=reason)
+        wire = nack.encode()
+        decoded = Nack.decode(wire)
+        assert decoded.reason == reason
+        assert decoded.interest.name == interest.name
+        assert decoded.interest.nonce == interest.nonce
+        assert decoded.encode() == wire
+
+
+# -- lazy-field equivalence against full decode --------------------------------
+
+
+class TestWirePacketLazyFields:
+    @given(interest=interests)
+    def test_interest_view_matches_full_decode(self, interest):
+        wire = interest.encode()
+        view = WirePacket(wire)  # wire-only: no attached object
+        full = Interest.decode(wire)
+        assert view.packet_type == TlvTypes.INTEREST
+        assert view.is_interest and not view.is_data and not view.is_nack
+        assert view.name == full.name
+        assert view.can_be_prefix == full.can_be_prefix
+        assert view.must_be_fresh == full.must_be_fresh
+        assert view.nonce == full.nonce
+        assert view.hop_limit == full.hop_limit
+        assert view.application_parameters == full.application_parameters
+        assert_ms_equal(view.lifetime, full.lifetime)
+        assert view.size == len(wire)
+        assert view.wire == wire
+
+    @given(data=datas)
+    def test_data_view_matches_full_decode(self, data):
+        wire = data.encode()
+        view = WirePacket(wire)
+        full = Data.decode(wire)
+        assert view.packet_type == TlvTypes.DATA
+        assert view.name == full.name
+        assert_ms_equal(view.freshness_period, full.freshness_period)
+
+    @given(interest=interests, reason=st.integers(min_value=0, max_value=200))
+    def test_nack_view_matches_full_decode(self, interest, reason):
+        wire = Nack(interest=interest, reason=reason).encode()
+        view = WirePacket(wire)
+        full = Nack.decode(wire)
+        assert view.packet_type == TlvTypes.NACK
+        assert view.reason == full.reason == reason
+        assert view.name == full.name
+        enclosed = view.interest
+        assert enclosed.name == full.interest.name
+        assert enclosed.nonce == full.interest.nonce
+        assert enclosed.wire == full.interest.encode()
+
+    @given(interest=interests)
+    def test_matches_data_equivalence(self, interest):
+        view = WirePacket(interest.encode())
+        exact = Data(name=interest.name, content=b"x")
+        longer = Data(name=interest.name.append("more"), content=b"x")
+        assert view.matches_data(exact) == interest.matches_data(exact)
+        assert view.matches_data(longer) == interest.matches_data(longer)
+
+
+# -- WirePacket behaviour ------------------------------------------------------
+
+
+class TestWirePacketBehaviour:
+    def test_of_keeps_object_and_decode_is_free(self):
+        interest = Interest(name=Name("/a/b"))
+        view = WirePacket.of(interest)
+        before = WirePacket.wire_decodes
+        assert view.decode() is interest
+        assert WirePacket.wire_decodes == before  # cached object: not a decode
+        assert view.wire == interest.encode()
+
+    def test_of_is_idempotent(self):
+        view = WirePacket(Interest(name=Name("/a")).encode())
+        assert WirePacket.of(view) is view
+
+    def test_wire_decode_counts_once(self):
+        wire = Data(name=Name("/d"), content=b"z").encode()
+        view = WirePacket(wire)
+        before = WirePacket.wire_decodes
+        first = view.decode()
+        second = view.decode()
+        assert first is second
+        assert WirePacket.wire_decodes == before + 1
+
+    def test_decoded_object_retransmits_without_reencode(self):
+        wire = Data(name=Name("/d"), content=b"z").encode()
+        decoded = WirePacket(wire).decode()
+        assert decoded.encode() is wire  # buffer handed over, not re-built
+
+    def test_decode_hook_observes_wire_decodes(self):
+        seen = []
+        old_hook = WirePacket.decode_hook
+        WirePacket.decode_hook = seen.append
+        try:
+            view = WirePacket(Interest(name=Name("/h")).encode())
+            view.decode()
+            view.decode()
+            WirePacket.of(Interest(name=Name("/h2"))).decode()
+        finally:
+            WirePacket.decode_hook = old_hook
+        assert seen == [view]
+
+    def test_with_decremented_hop_limit_patches_wire(self):
+        interest = Interest(name=Name("/hop/test"), hop_limit=7)
+        view = WirePacket(interest.encode())
+        before = WirePacket.wire_decodes
+        forwarded = view.with_decremented_hop_limit()
+        assert WirePacket.wire_decodes == before  # byte patch, no decode
+        assert forwarded.hop_limit == 6
+        assert forwarded.nonce == interest.nonce
+        assert forwarded.name == interest.name
+        # The patched buffer is a valid Interest identical modulo hop limit.
+        reparsed = Interest.decode(forwarded.wire)
+        assert reparsed.hop_limit == 6
+        assert reparsed.name == interest.name
+        assert reparsed.application_parameters == interest.application_parameters
+
+    def test_hop_limit_decrement_saturates_at_zero(self):
+        view = WirePacket(Interest(name=Name("/z"), hop_limit=0).encode())
+        assert view.with_decremented_hop_limit().hop_limit == 0
+
+    def test_nack_from_view_equals_object_nack(self):
+        interest = Interest(name=Name("/n"), nonce=0x1234)
+        view = WirePacket(interest.encode())
+        wire_nack = view.nack(NackReason.CONGESTION)
+        object_nack = Nack(interest=interest, reason=NackReason.CONGESTION)
+        assert wire_nack.wire == object_nack.encode()
+        assert wire_nack.reason == NackReason.CONGESTION
+        assert wire_nack.interest is view
+
+    def test_interest_nack_helper(self):
+        interest = Interest(name=Name("/n"))
+        nack = interest.nack(NackReason.NO_ROUTE)
+        assert isinstance(nack, Nack)
+        assert nack.reason == NackReason.NO_ROUTE
+        assert nack.interest is interest
+
+    def test_type_mismatch_raises(self):
+        data_view = WirePacket(Data(name=Name("/d")).encode())
+        with pytest.raises(TLVDecodeError):
+            data_view.nonce
+        interest_view = WirePacket(Interest(name=Name("/i")).encode())
+        with pytest.raises(TLVDecodeError):
+            interest_view.freshness_period
+        with pytest.raises(TLVDecodeError):
+            interest_view.interest
+
+    def test_name_component_overrunning_name_tlv_raises(self):
+        from repro.ndn.tlv import encode_tlv
+        # A Name whose final component claims 4 value bytes while only 1
+        # remains inside the Name TLV; the following Nonce TLV keeps the
+        # overrun inside the packet buffer.  The lazy view must reject it
+        # exactly like the full decoder, not absorb the neighbouring TLV.
+        bad_name_value = bytes([0x08, 0x01, ord("a"), 0x08, 0x04, ord("b")])
+        wire = encode_tlv(
+            TlvTypes.INTEREST,
+            encode_tlv(TlvTypes.NAME, bad_name_value)
+            + encode_tlv(TlvTypes.NONCE, b"\x00\x00\x00\x01"),
+        )
+        with pytest.raises(TLVDecodeError):
+            WirePacket(wire).name
+        with pytest.raises(TLVDecodeError):
+            Interest.decode(wire)
+
+    def test_garbage_wire_raises(self):
+        with pytest.raises(TLVDecodeError):
+            WirePacket(b"\x05\xff").packet_type  # truncated length
+        with pytest.raises(TLVDecodeError):
+            WirePacket(bytes([0x99, 2, 0, 0])).decode()  # unknown packet type
+
+    def test_enclosed_interest_view_shares_buffer(self):
+        interest = Interest(name=Name("/shared/buffer"))
+        nack_wire = Nack(interest=interest, reason=NackReason.DUPLICATE).encode()
+        view = WirePacket(nack_wire)
+        enclosed = view.interest
+        # Lazily-parsed fields come straight out of the nack's buffer ...
+        assert enclosed.name == interest.name
+        assert enclosed.nonce == interest.nonce
+        # ... and materialising the sliced wire yields the exact sub-buffer.
+        assert enclosed.wire in nack_wire
