@@ -38,6 +38,7 @@ from repro.ndn.cs import CachePolicy
 from repro.ndn.face import connect
 from repro.ndn.forwarder import Forwarder
 from repro.ndn.routing import RoutingDaemon
+from repro.ndn.shard import ShardedForwarder
 from repro.sim.engine import Environment
 from repro.sim.topology import Link
 from repro.sim.trace import Tracer
@@ -66,6 +67,7 @@ class LIDCCluster:
         seed: int = 0,
         tracer: Optional[Tracer] = None,
         services: Optional[ServiceRegistry] = None,
+        gateway_shards: int = 1,
     ) -> None:
         self.env = env
         self.spec = spec
@@ -78,10 +80,22 @@ class LIDCCluster:
         self.cluster = Cluster(env, spec)
 
         # -- NDN forwarders ------------------------------------------------------
-        self.gateway_nfd = Forwarder(
-            env, name=f"{spec.name}-gw-nfd", cs_capacity=cs_capacity,
-            cs_policy=CachePolicy.LRU, tracer=self.tracer,
-        )
+        if gateway_shards > 1:
+            # A sharded gateway data plane: the /ndn/k8s namespace shares
+            # its first components, so partition on the fourth (application
+            # for compute, dataset for data) — deep enough to spread load,
+            # shallow enough that every prefix-matched exchange stays on
+            # one shard (see the repro.ndn.shard partitioning contract).
+            self.gateway_nfd: "Forwarder | ShardedForwarder" = ShardedForwarder(
+                env, name=f"{spec.name}-gw-nfd", shards=gateway_shards,
+                key_depth=4, cs_capacity=cs_capacity, cs_policy=CachePolicy.LRU,
+                tracer=self.tracer,
+            )
+        else:
+            self.gateway_nfd = Forwarder(
+                env, name=f"{spec.name}-gw-nfd", cs_capacity=cs_capacity,
+                cs_policy=CachePolicy.LRU, tracer=self.tracer,
+            )
         self.datalake_nfd = Forwarder(
             env, name=f"{spec.name}-dl-nfd", cs_capacity=cs_capacity,
             cache_unsolicited=True, tracer=self.tracer,
@@ -197,24 +211,34 @@ class LIDCCluster:
     def active_jobs(self) -> int:
         return self.gateway.active_job_count()
 
+    @staticmethod
+    def _face_totals(face_stats: dict[int, dict[str, int]]) -> dict[str, int]:
+        totals = {"bytes_in": 0, "bytes_out": 0, "drops": 0}
+        for counters in face_stats.values():
+            totals["bytes_in"] += counters["bytes_in"]
+            totals["bytes_out"] += counters["bytes_out"]
+            totals["drops"] += counters["drops"]
+        return totals
+
     def transport_stats(self) -> dict[str, dict[str, int]]:
-        """Wire-level transport totals, reported per NFD.
+        """Wire-level transport totals, reported per NFD — and per shard.
 
         Bytes are ``len(wire)`` of the buffers that crossed each face;
         ``drops`` counts packets discarded on down faces, so experiments can
         report loss instead of silently eating packets.  Totals are kept
         separate per forwarder because the intra-site gw↔dl link appears in
         both — summing the two would double-count internal traffic as site
-        ingress/egress.
+        ingress/egress.  When the gateway runs a sharded data plane
+        (``gateway_shards > 1``), each shard additionally reports under
+        ``gateway_nfd/shard<i>`` — those totals count the shard's boundary
+        and producer faces, i.e. the wire bytes the shard itself handled.
         """
         report: dict[str, dict[str, int]] = {}
         for key, nfd in (("gateway_nfd", self.gateway_nfd), ("datalake_nfd", self.datalake_nfd)):
-            totals = {"bytes_in": 0, "bytes_out": 0, "drops": 0}
-            for counters in nfd.face_stats().values():
-                totals["bytes_in"] += counters["bytes_in"]
-                totals["bytes_out"] += counters["bytes_out"]
-                totals["drops"] += counters["drops"]
-            report[key] = totals
+            report[key] = self._face_totals(nfd.face_stats())
+        if isinstance(self.gateway_nfd, ShardedForwarder):
+            for index, shard in enumerate(self.gateway_nfd.shards):
+                report[f"gateway_nfd/shard{index}"] = self._face_totals(shard.face_stats())
         return report
 
     def stats(self) -> dict[str, object]:

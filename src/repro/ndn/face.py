@@ -18,13 +18,13 @@ Two kinds of face are provided:
 
 Every endpoint that owns faces must implement the small
 :class:`PacketEndpoint` protocol: ``add_face(face) -> int`` and
-``receive_packet(packet, face) -> None``.  Endpoints that understand wire
-views set ``accepts_wire_packets = True`` and receive the
-:class:`~repro.ndn.packet.WirePacket` itself; for every other endpoint a
-compatibility shim decodes on delivery and hands over the bare
-``Interest``/``Data``/``Nack`` object, so out-of-tree endpoints keep working
-for one release.  ``send()`` symmetrically accepts bare packet objects and
-wraps them (via the sender's cached wire form) on entry.
+``receive_packet(packet, face) -> None``, and must declare
+``accepts_wire_packets = True``: delivery hands over the
+:class:`~repro.ndn.packet.WirePacket` itself and raises for endpoints that
+do not opt in.  (The one-release compatibility shim that decoded packets
+for legacy endpoints is gone; every in-tree endpoint is wire-aware.)
+``send()`` still accepts bare packet objects and wraps them (via the
+sender's cached wire form) on entry.
 """
 
 from __future__ import annotations
@@ -63,10 +63,10 @@ _DATA_TYPE = TlvTypes.DATA
 class PacketEndpoint(Protocol):
     """Anything that can own faces and receive packets from them.
 
-    Endpoints with ``accepts_wire_packets = True`` receive the
-    :class:`~repro.ndn.packet.WirePacket`; all others receive the decoded
-    packet object via the delivery compat shim (deprecated — migrate to wire
-    views; the shim is kept for one release).
+    Endpoints must set ``accepts_wire_packets = True`` and handle the
+    :class:`~repro.ndn.packet.WirePacket` view; delivery to an endpoint
+    without that marker raises (the decode-on-delivery compat shim was
+    removed once every in-tree endpoint became wire-aware).
     """
 
     def add_face(self, face: "Face") -> int:  # pragma: no cover - protocol
@@ -132,8 +132,8 @@ class Face:
         self.peer: Optional["Face"] = None
         self.stats = FaceStats()
         self.up = True
-        # Resolved once: whether deliveries hand over the wire view or the
-        # decoded object (legacy endpoints, via the compat shim).
+        # Resolved once: delivery requires a wire-aware owner (legacy
+        # decoded-object delivery raises in deliver()).
         self._owner_accepts_wire = bool(getattr(owner, "accepts_wire_packets", False))
 
     def attach(self) -> int:
@@ -172,13 +172,17 @@ class Face:
         if not self.up:
             self.stats.drops += 1
             return
+        if not self._owner_accepts_wire:
+            raise NDNError(
+                f"endpoint {type(self.owner).__name__!r} on face "
+                f"{self.label or self.face_id} does not accept wire packets: "
+                "the legacy decoded-object delivery shim was removed; set "
+                "accepts_wire_packets = True and read fields off the "
+                "WirePacket view (or call .decode() at the endpoint)"
+            )
         wire_packet = WirePacket.of(packet)
         self.stats.record_in(wire_packet)
-        if self._owner_accepts_wire:
-            self.owner.receive_packet(wire_packet, self)
-        else:
-            # Compat shim: legacy endpoints get the decoded object.
-            self.owner.receive_packet(wire_packet.decode(), self)
+        self.owner.receive_packet(wire_packet, self)
 
     # -- lifecycle ---------------------------------------------------------------
 

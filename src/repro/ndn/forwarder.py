@@ -56,7 +56,8 @@ class Forwarder:
     name:
         Node name (used in traces and for routing adjacency).
     cs_capacity:
-        Content-store capacity in packets (0 disables caching).
+        Content-store capacity in packets (0 disables caching, ``None``
+        is unbounded — never evicts, skips recency bookkeeping).
     cache_unsolicited:
         Whether Data arriving with no matching PIT entry is still cached
         (useful for repo-style producers).
@@ -69,7 +70,7 @@ class Forwarder:
         self,
         env: Environment,
         name: str = "forwarder",
-        cs_capacity: int = 1024,
+        cs_capacity: "int | None" = 1024,
         cs_policy: "CachePolicy | str" = CachePolicy.LRU,
         cache_unsolicited: bool = False,
         tracer: Optional[Tracer] = None,

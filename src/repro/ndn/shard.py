@@ -1,0 +1,881 @@
+"""Sharded forwarder data plane: namespace-partitioned worker shards.
+
+A single :class:`~repro.ndn.forwarder.Forwarder` is bound to one core.  This
+module partitions one node's namespace across N forwarder *shards* so the
+data plane scales past that: a thin dispatcher hashes each packet's name to
+a shard and hands the **encoded wire buffer** across the shard boundary.
+The wire-level transport API is the prerequisite — an encoded buffer (unlike
+an object graph) can cross a process boundary — and the boundary here only
+ever carries :class:`~repro.ndn.packet.WirePacket` frames: no packet is
+re-encoded or fully decoded in transit, which the
+``WirePacket.wire_decodes`` counter enforces in tests and benchmarks.
+
+Partitioning contract
+---------------------
+* The shard key of a name is its first ``key_depth`` components (default 1,
+  per-tenant style partitioning; deeper keys suit single-rooted namespaces
+  like ``/ndn/k8s/...``).  A name shorter than ``key_depth`` keys on all of
+  its components.
+* ``shard_for_key`` is a consistent hash on a ring of virtual nodes built
+  from :func:`hashlib.sha256` — deterministic across processes, runs and
+  ``PYTHONHASHSEED`` (never Python's randomised ``hash``).  Growing the
+  shard count from N to N+1 only moves keys *onto the new shard*; keys that
+  stay map to the same shard as before.
+* An Interest and the Data/Nack that answers it carry the same name, so
+  they always land on the same shard: each shard owns the complete
+  PIT/CS/FIB state for its slice of the namespace and no cross-shard
+  coordination exists on the fast path.
+* A *prefix* (route or producer) with at least ``key_depth`` components has
+  exactly one owning shard; a shorter prefix spans the whole key space and
+  is installed on every shard.
+* Correctness caveat: a ``can_be_prefix`` Interest whose name is shorter
+  than ``key_depth`` may hash to a different shard than the Data that would
+  answer it.  Keep ``key_depth`` at most the length of the shortest
+  prefix-matched Interest name (the default of 1 is always safe for
+  non-empty names, because a satisfying Data name extends the Interest
+  name and therefore shares its first component).
+
+Boundary mechanics
+------------------
+Packets cross shards as *frames*: the wire buffer plus the sender's already
+parsed TLV span table (:func:`encode_frame`), so the receiving shard never
+re-walks the buffer, let alone decodes it.  In-process crossings
+(:class:`ShardFace`, used by the deterministic simulation) round-trip every
+packet through the frame codec — the reconstructed view has no attached
+decoded object, which is what makes the transit-decode counter meaningful.
+Real multi-process crossings (:class:`ShardWorkerPool`) send the same
+frames over :mod:`multiprocessing` pipes to forked workers, reusing the
+fork-pool pattern of :mod:`repro.analysis.sweep` (fork keeps already
+imported modules visible to children, so node builders pickle by
+reference).
+
+Deterministic scheduling
+------------------------
+Inside the simulator, each shard (and the dispatcher) is a serial server:
+a :class:`~repro.sim.engine.Queue`-fed process that spends a configurable
+service time per packet in simulated time.  Ordering is FIFO at every
+queue and the engine breaks simultaneous events by scheduling sequence, so
+results are bit-for-bit independent of shard count *interleaving* — only
+the modelled parallelism changes.  With the default service times of zero
+the servers short-circuit to synchronous calls and sharding is purely a
+partitioning exercise.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import multiprocessing
+import multiprocessing.connection
+import struct
+from functools import lru_cache
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.exceptions import NDNError
+from repro.ndn.cs import CachePolicy
+from repro.ndn.face import AnyPacket, Face, LocalFace, PacketEndpoint
+from repro.ndn.forwarder import Forwarder
+from repro.ndn.name import Name
+from repro.ndn.nametree import as_name
+from repro.ndn.packet import WirePacket
+from repro.ndn.strategy import Strategy
+from repro.sim.engine import Environment, Queue
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.trace import Tracer
+
+__all__ = [
+    "shard_key",
+    "shard_for_key",
+    "shard_for_name",
+    "encode_frame",
+    "decode_frame",
+    "encode_frames",
+    "iter_frames",
+    "ShardFace",
+    "ShardedForwarder",
+    "ShardWorkerPool",
+    "forwarder_for_node",
+]
+
+#: Virtual nodes per shard on the consistent-hash ring.  More points =
+#: better balance (share stddev ~ 1/sqrt(vnodes)); 256 keeps the ring
+#: construction trivial (it is built once per shard count and cached)
+#: while holding the expected imbalance to a few percent.
+_RING_VNODES = 256
+
+
+@lru_cache(maxsize=64)
+def _hash_ring(num_shards: int) -> tuple[tuple[int, int], ...]:
+    """The sorted ``(point, shard)`` ring for ``num_shards`` shards.
+
+    Shard ``s`` contributes the same points no matter how many other shards
+    exist — that is the consistency property: ring(N+1) is ring(N) plus the
+    new shard's points, so growing the pool only moves keys onto the new
+    shard.
+    """
+    points = []
+    for shard in range(num_shards):
+        for vnode in range(_RING_VNODES):
+            digest = hashlib.sha256(b"shard:%d:%d" % (shard, vnode)).digest()
+            points.append((int.from_bytes(digest[:8], "big"), shard))
+    points.sort()
+    return tuple(points)
+
+
+def shard_key(name: "Name | str", key_depth: int = 1) -> bytes:
+    """The partitioning key of ``name``: its first ``key_depth`` components."""
+    name = as_name(name)
+    if key_depth < 1:
+        raise NDNError(f"shard key depth must be >= 1, got {key_depth}")
+    components = tuple(name)[:key_depth]
+    return b"/".join(component.value for component in components)
+
+
+def shard_for_key(key: bytes, num_shards: int) -> int:
+    """Consistent-hash ``key`` onto one of ``num_shards`` shards."""
+    if num_shards < 1:
+        raise NDNError(f"need at least one shard, got {num_shards}")
+    if num_shards == 1:
+        return 0
+    ring = _hash_ring(num_shards)
+    point = int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+    index = bisect.bisect_left(ring, (point, -1))
+    if index == len(ring):
+        index = 0
+    return ring[index][1]
+
+
+def shard_for_name(name: "Name | str", num_shards: int, key_depth: int = 1) -> int:
+    """The shard owning ``name`` (see the module partitioning contract)."""
+    return shard_for_key(shard_key(name, key_depth), num_shards)
+
+
+# --------------------------------------------------------------------- frames
+
+_FRAME_HEAD = struct.Struct(">II")  # tag, wire length
+_FRAME_LAYOUT_HEAD = struct.Struct(">IIIH")  # outer type, body start/end, span count
+_FRAME_SPAN = struct.Struct(">IIII")  # tlv type, block start, value start/end
+
+
+def encode_frame(packet: "WirePacket | AnyPacket", tag: int = 0) -> bytes:
+    """Serialise one packet for a shard boundary: wire buffer + span table.
+
+    The frame carries the encoded packet verbatim plus, when the sender has
+    already shallow-parsed the buffer, the TLV span table — so the shard on
+    the other side answers header questions without re-walking the wire.
+    The decoded object (if any) deliberately does **not** cross: transit
+    stays bytes-only on both sides of the boundary.
+    """
+    view = WirePacket.of(packet)
+    wire = view.wire
+    parts = [_FRAME_HEAD.pack(tag, len(wire)), wire]
+    spans = view._spans
+    if spans is None:
+        parts.append(b"\x00")
+    else:
+        # Span offsets are absolute in the sender's buffer; re-base them to
+        # the transmitted wire (sub-views of larger buffers shift by _start).
+        shift = view._start
+        parts.append(b"\x01")
+        parts.append(
+            _FRAME_LAYOUT_HEAD.pack(
+                view._type, view._body_start - shift, view._body_end - shift, len(spans)
+            )
+        )
+        for tlv_type, (start, value_start, value_end) in spans.items():
+            parts.append(
+                _FRAME_SPAN.pack(
+                    tlv_type, start - shift, value_start - shift, value_end - shift
+                )
+            )
+    return b"".join(parts)
+
+
+def decode_frame(buffer: bytes, offset: int = 0) -> tuple[int, WirePacket, int]:
+    """Rebuild ``(tag, view, next_offset)`` from one frame.
+
+    The returned view is backed by the transported bytes only — no decoded
+    packet object — with the sender's TLV layout pre-installed when the
+    frame carried one.
+    """
+    tag, wire_length = _FRAME_HEAD.unpack_from(buffer, offset)
+    offset += _FRAME_HEAD.size
+    wire = bytes(buffer[offset:offset + wire_length])
+    if len(wire) != wire_length:
+        raise NDNError("truncated shard frame: wire buffer cut short")
+    offset += wire_length
+    if offset >= len(buffer):
+        raise NDNError("truncated shard frame: missing layout flag")
+    has_layout = buffer[offset]
+    offset += 1
+    view = WirePacket(wire)
+    if has_layout:
+        outer_type, body_start, body_end, span_count = _FRAME_LAYOUT_HEAD.unpack_from(
+            buffer, offset
+        )
+        offset += _FRAME_LAYOUT_HEAD.size
+        spans: dict[int, tuple[int, int, int]] = {}
+        for _ in range(span_count):
+            tlv_type, start, value_start, value_end = _FRAME_SPAN.unpack_from(
+                buffer, offset
+            )
+            offset += _FRAME_SPAN.size
+            spans[tlv_type] = (start, value_start, value_end)
+        view._type = outer_type
+        view._body_start = body_start
+        view._body_end = body_end
+        view._spans = spans
+    return tag, view, offset
+
+
+def encode_frames(items: Sequence[tuple[int, "WirePacket | AnyPacket"]]) -> bytes:
+    """Concatenate ``(tag, packet)`` pairs into one boundary message."""
+    return b"".join(encode_frame(packet, tag) for tag, packet in items)
+
+
+def iter_frames(buffer: bytes) -> Iterator[tuple[int, WirePacket]]:
+    """Yield every ``(tag, view)`` frame in a boundary message."""
+    offset = 0
+    while offset < len(buffer):
+        tag, view, offset = decode_frame(buffer, offset)
+        yield tag, view
+
+
+# ------------------------------------------------------------- serial servers
+
+
+class _SerialServer:
+    """One serial execution resource in simulated time (a worker's core).
+
+    ``submit`` runs actions in FIFO order, spending ``service_time_s`` of
+    simulated time on each; a zero service time short-circuits to an
+    immediate synchronous call so the default configuration adds no
+    scheduling overhead at all.
+    """
+
+    __slots__ = ("env", "service_time_s", "served", "_queue")
+
+    def __init__(self, env: Environment, service_time_s: float, name: str) -> None:
+        self.env = env
+        self.service_time_s = service_time_s
+        self.served = 0
+        self._queue: Optional[Queue] = None
+        if service_time_s > 0:
+            self._queue = Queue(env)
+            env.process(self._run(), name=f"serve:{name}")
+
+    def submit(self, action: Callable[[], None]) -> None:
+        if self._queue is None:
+            self.served += 1
+            action()
+            return
+        self._queue.put(action)
+
+    def _run(self):
+        queue = self._queue
+        assert queue is not None
+        while True:
+            action = yield queue.get()
+            yield self.env.timeout(self.service_time_s)
+            self.served += 1
+            action()
+
+
+# --------------------------------------------------------------- shard faces
+
+
+class ShardFace(Face):
+    """A face whose transmissions cross a shard boundary as frames.
+
+    Every packet is round-tripped through the frame codec — serialised to
+    bytes, reconstructed as a fresh :class:`WirePacket` with the span table
+    handed over — so the far side holds a bytes-only view even when sender
+    and receiver share a process.  ``deliver_server``, when given, is the
+    receiving shard's serial server: delivery queues behind that shard's
+    per-packet service time.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        owner: PacketEndpoint,
+        label: str = "",
+        deliver_server: Optional[_SerialServer] = None,
+    ) -> None:
+        super().__init__(env, owner, label)
+        self.frames = 0
+        self.frame_bytes = 0
+        self._deliver_server = deliver_server
+
+    def _transmit(self, packet: WirePacket) -> None:
+        peer = self.peer
+        assert peer is not None
+        frame = encode_frame(packet)
+        self.frames += 1
+        self.frame_bytes += len(frame)
+        _tag, restored, _end = decode_frame(frame, 0)
+        if self._deliver_server is None:
+            peer.deliver(restored)
+        else:
+            self._deliver_server.submit(lambda: peer.deliver(restored))
+
+
+class _ShardRelay:
+    """Dispatcher-side endpoint of one (external face, shard) boundary pair.
+
+    Packets a shard emits towards an external face land here; the relay
+    queues the outbound send on the dispatcher's serial server, mirroring
+    the real deployment where the dispatcher thread also writes egress
+    frames back to the network.
+    """
+
+    accepts_wire_packets = True
+
+    __slots__ = ("_owner", "_ext_face_id", "face")
+
+    def __init__(self, owner: "ShardedForwarder", ext_face_id: int) -> None:
+        self._owner = owner
+        self._ext_face_id = ext_face_id
+        self.face: Optional[Face] = None
+
+    def add_face(self, face: Face) -> int:
+        self.face = face
+        return 0
+
+    def receive_packet(self, packet: WirePacket, face: Face) -> None:
+        self._owner._egress(self._ext_face_id, packet)
+
+
+# ---------------------------------------------------------- sharded forwarder
+
+
+class _ShardedFib:
+    """FIB facade over the per-shard tables, keyed by *external* face ids.
+
+    The routing daemon talks to ``forwarder.fib`` directly; this view
+    translates its prefix/face operations onto whichever shards own the
+    prefix.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "ShardedForwarder") -> None:
+        self._owner = owner
+
+    def add_route(self, prefix: "Name | str", face_id: int, cost: float = 0.0) -> None:
+        self._owner.register_prefix(prefix, face_id, cost)
+
+    def remove_route(self, prefix: "Name | str", face_id: int) -> bool:
+        return self._owner.unregister_prefix(prefix, face_id)
+
+    def remove_face(self, face_id: int) -> int:
+        removed = 0
+        for (prefix, ext_id) in list(self._owner._registrations):
+            if ext_id == face_id:
+                if self._owner.unregister_prefix(prefix, ext_id):
+                    removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._owner._registrations)
+
+
+class ShardedForwarder:
+    """A forwarder node whose namespace is partitioned across worker shards.
+
+    Drop-in for :class:`~repro.ndn.forwarder.Forwarder` at the node level:
+    it owns external faces, prefix registrations and producer attachments,
+    but every packet is consistent-hashed on its name's shard key and
+    forwarded — as a wire frame, never a decoded object — to one of
+    ``shards`` internal :class:`Forwarder` instances, each owning the
+    complete PIT/CS/FIB state for its slice of the namespace.
+
+    ``dispatch_service_s`` and ``shard_service_s`` give the dispatcher and
+    each shard a serial per-packet service time in simulated seconds, which
+    is how benchmarks model multi-core scaling deterministically; both
+    default to zero (no modelled cost).
+
+    Producers attached under a prefix shorter than ``key_depth`` are
+    installed on every shard; such handlers must answer synchronously
+    (returning Data/Nack from the callback), because the face returned by
+    :meth:`attach_producer` reaches only the first owning shard.
+    """
+
+    #: Faces hand this endpoint the WirePacket view, not decoded objects.
+    accepts_wire_packets = True
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "sharded",
+        shards: int = 2,
+        key_depth: int = 1,
+        cs_capacity: "int | None" = 1024,
+        cs_policy: "CachePolicy | str" = CachePolicy.LRU,
+        cache_unsolicited: bool = False,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        dispatch_service_s: float = 0.0,
+        shard_service_s: float = 0.0,
+    ) -> None:
+        if shards < 1:
+            raise NDNError(f"{name}: need at least one shard, got {shards}")
+        if key_depth < 1:
+            raise NDNError(f"{name}: shard key depth must be >= 1, got {key_depth}")
+        self.env = env
+        self.name = name
+        self.num_shards = shards
+        self.key_depth = key_depth
+        self.tracer = tracer or Tracer(clock=lambda: env.now, enabled=False)
+        self.metrics = metrics or MetricsRegistry(clock=lambda: env.now)
+        self.shards: list[Forwarder] = [
+            Forwarder(
+                env,
+                name=f"{name}/shard{index}",
+                cs_capacity=self._shard_capacity(cs_capacity, index, shards),
+                cs_policy=cs_policy,
+                cache_unsolicited=cache_unsolicited,
+                tracer=self.tracer,
+            )
+            for index in range(shards)
+        ]
+        self._dispatch_server = _SerialServer(env, dispatch_service_s, f"{name}:dispatch")
+        self._shard_servers = [
+            _SerialServer(env, shard_service_s, f"{name}/shard{index}")
+            for index in range(shards)
+        ]
+        self._faces: dict[int, Face] = {}
+        self._next_face_id = 1
+        #: (external face id, shard index) -> (dispatcher-side, shard-side) pair.
+        self._mirrors: dict[tuple[int, int], tuple[ShardFace, ShardFace]] = {}
+        #: (prefix, external face id) -> shard indices the route lives on.
+        self._registrations: dict[tuple[Name, int], list[int]] = {}
+        self.fib = _ShardedFib(self)
+
+    @staticmethod
+    def _shard_capacity(total: "int | None", index: int, shards: int) -> "int | None":
+        """Split a node-level CS capacity evenly across shards."""
+        if total is None:
+            return None
+        base, extra = divmod(total, shards)
+        return base + (1 if index < extra else 0)
+
+    # ------------------------------------------------------------------ faces
+
+    def add_face(self, face: Face) -> int:
+        """Register an external face and wire its per-shard boundary pairs."""
+        face_id = self._next_face_id
+        self._next_face_id += 1
+        self._faces[face_id] = face
+        for index, shard in enumerate(self.shards):
+            relay = _ShardRelay(self, face_id)
+            dispatcher_side = ShardFace(
+                self.env, relay,
+                label=f"{self.name}:pipe:{face_id}>shard{index}",
+                deliver_server=self._shard_servers[index],
+            )
+            shard_side = ShardFace(
+                self.env, shard,
+                label=f"{self.name}:shard{index}>pipe:{face_id}",
+            )
+            dispatcher_side.set_peer(shard_side)
+            shard_side.set_peer(dispatcher_side)
+            dispatcher_side.attach()
+            shard_side.attach()
+            self._mirrors[(face_id, index)] = (dispatcher_side, shard_side)
+        return face_id
+
+    def remove_face(self, face_id: int) -> None:
+        """Detach an external face; purges its boundary pairs and routes."""
+        face = self._faces.pop(face_id, None)
+        if face is not None:
+            face.close()
+        for index, shard in enumerate(self.shards):
+            pair = self._mirrors.pop((face_id, index), None)
+            if pair is not None:
+                shard.remove_face(pair[1].face_id)
+        for key in [key for key in self._registrations if key[1] == face_id]:
+            del self._registrations[key]
+
+    def face(self, face_id: int) -> Face:
+        try:
+            return self._faces[face_id]
+        except KeyError:
+            raise NDNError(f"{self.name}: unknown face id {face_id}") from None
+
+    def faces(self) -> dict[int, Face]:
+        return dict(self._faces)
+
+    # ----------------------------------------------------------------- routes
+
+    def _owning_shards(self, prefix: Name) -> list[int]:
+        """The shards a prefix's routes/producers must live on."""
+        if len(prefix) >= self.key_depth:
+            return [shard_for_name(prefix, self.num_shards, self.key_depth)]
+        return list(range(self.num_shards))
+
+    def register_prefix(self, prefix: "Name | str", face: "Face | int", cost: float = 0.0) -> None:
+        """Register a prefix towards an external face on its owning shards."""
+        ext_id = face.face_id if isinstance(face, Face) else int(face)
+        if ext_id not in self._faces:
+            raise NDNError(f"{self.name}: cannot register prefix on unknown face {ext_id}")
+        prefix = as_name(prefix)
+        owners = self._owning_shards(prefix)
+        for index in owners:
+            shard_side = self._mirrors[(ext_id, index)][1]
+            self.shards[index].register_prefix(prefix, shard_side, cost)
+        self._registrations[(prefix, ext_id)] = owners
+        self.tracer.record("fib", "register", prefix=prefix, face=ext_id, shards=owners)
+
+    def unregister_prefix(self, prefix: "Name | str", face: "Face | int") -> bool:
+        ext_id = face.face_id if isinstance(face, Face) else int(face)
+        prefix = as_name(prefix)
+        owners = self._registrations.pop((prefix, ext_id), None)
+        if owners is None:
+            return False
+        removed = False
+        for index in owners:
+            pair = self._mirrors.get((ext_id, index))
+            if pair is None:
+                continue
+            removed = self.shards[index].unregister_prefix(prefix, pair[1]) or removed
+        return removed
+
+    def set_strategy(self, prefix: "Name | str", strategy: Strategy) -> None:
+        """Choose the forwarding strategy for a namespace (on every shard)."""
+        for shard in self.shards:
+            shard.set_strategy(prefix, strategy)
+
+    def attach_producer(
+        self,
+        prefix: "Name | str",
+        handler: Callable[..., "AnyPacket | None"],
+        delay_s: float = 0.0,
+    ) -> Face:
+        """Attach an application producer on the prefix's owning shards.
+
+        Returns the application face on the first owning shard; when the
+        prefix spans several shards the handler is attached to each and must
+        answer synchronously (see the class docstring).
+        """
+        prefix = as_name(prefix)
+        faces = [
+            self.shards[index].attach_producer(prefix, handler, delay_s)
+            for index in self._owning_shards(prefix)
+        ]
+        return faces[0]
+
+    # ------------------------------------------------------------- dispatching
+
+    def receive_packet(self, packet: AnyPacket, face: Face) -> None:
+        """Entry point for packets arriving on an external face."""
+        wire_packet = WirePacket.of(packet)
+        ext_id = face.face_id
+        self.metrics.counter("packets_dispatched").inc()
+        self._dispatch_server.submit(lambda: self._dispatch(wire_packet, ext_id))
+
+    def _dispatch(self, wire_packet: WirePacket, ext_id: int) -> None:
+        index = shard_for_name(wire_packet.name, self.num_shards, self.key_depth)
+        pair = self._mirrors.get((ext_id, index))
+        if pair is None:  # external face removed while the packet queued
+            self.metrics.counter("packets_dropped_no_face").inc()
+            return
+        self.tracer.record("shard", "dispatch", name=wire_packet.name, shard=index, face=ext_id)
+        pair[0].send(wire_packet)
+
+    def _egress(self, ext_id: int, packet: WirePacket) -> None:
+        self._dispatch_server.submit(lambda: self._send_out(ext_id, packet))
+
+    def _send_out(self, ext_id: int, packet: WirePacket) -> None:
+        face = self._faces.get(ext_id)
+        if face is None:
+            self.metrics.counter("packets_dropped_no_face").inc()
+            return
+        face.send(packet)
+
+    # ------------------------------------------------------------------- misc
+
+    def pit_entries(self) -> int:
+        """Total pending Interests across every shard (leak check)."""
+        return sum(len(shard.pit) for shard in self.shards)
+
+    def face_stats(self) -> dict[int, dict[str, int]]:
+        """Per-external-face counter snapshots."""
+        return {face_id: face.stats.as_dict() for face_id, face in self._faces.items()}
+
+    def boundary_stats(self) -> dict[tuple[int, int], dict[str, dict[str, int]]]:
+        """Per (external face, shard) boundary counters, both directions.
+
+        ``dispatcher`` is the dispatcher-side face, ``shard`` the shard-side
+        one; a healthy boundary has ``dispatcher.bytes_out ==
+        shard.bytes_in`` and vice versa (byte counts are ``len(wire)`` of
+        the frames' payloads).
+        """
+        report: dict[tuple[int, int], dict[str, dict[str, int]]] = {}
+        for key, (dispatcher_side, shard_side) in self._mirrors.items():
+            report[key] = {
+                "dispatcher": dispatcher_side.stats.as_dict(),
+                "shard": shard_side.stats.as_dict(),
+            }
+        return report
+
+    def shard_stats(self) -> list[dict[str, object]]:
+        """Each shard forwarder's stats snapshot, in shard order."""
+        return [shard.stats() for shard in self.shards]
+
+    def stats(self) -> dict[str, object]:
+        """Node-level snapshot: aggregate counters plus per-shard detail."""
+        return {
+            "name": self.name,
+            "shards": self.num_shards,
+            "faces": len(self._faces),
+            "face_stats": self.face_stats(),
+            "fib_entries": len(self.fib),
+            "pit_entries": self.pit_entries(),
+            "dispatched": self._dispatch_server.served,
+            "shard_stats": self.shard_stats(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ShardedForwarder {self.name} shards={self.num_shards} faces={len(self._faces)}>"
+
+
+def forwarder_for_node(env: Environment, node, **kwargs):
+    """Build the data plane a :class:`~repro.sim.topology.TopologyNode` asks for.
+
+    ``node.shards == 1`` yields a plain :class:`Forwarder`; more yields a
+    :class:`ShardedForwarder`.  Keyword arguments are passed through, with
+    shard-only options (``key_depth``, service times) dropped for the
+    single-process case.
+    """
+    shards = getattr(node, "shards", 1)
+    if shards <= 1:
+        for shard_only in ("key_depth", "dispatch_service_s", "shard_service_s"):
+            kwargs.pop(shard_only, None)
+        return Forwarder(env, name=node.name, **kwargs)
+    return ShardedForwarder(env, name=node.name, shards=shards, **kwargs)
+
+
+# ------------------------------------------------------------ process workers
+
+#: Control message closing a worker (cannot collide with a frame batch:
+#: batches are never empty and always start with a frame header).
+_QUIT = b"\xffQUIT"
+
+
+class _FrameCollector:
+    """Worker-side endpoint gathering the shard's outbound packets."""
+
+    accepts_wire_packets = True
+
+    def __init__(self) -> None:
+        self._out: list[tuple[int, WirePacket]] = []
+
+    def add_face(self, face: Face) -> int:
+        return 0
+
+    def receive_packet(self, packet: WirePacket, face: Face) -> None:
+        self._out.append((0, packet))
+
+    def take(self) -> list[tuple[int, WirePacket]]:
+        taken, self._out = self._out, []
+        return taken
+
+
+def _shard_worker_main(conn, shard_id: int, num_shards: int, node_builder) -> None:
+    """One shard worker process: a forwarder fed wire frames over a pipe.
+
+    ``node_builder(env, shard_id, num_shards)`` returns the shard's
+    :class:`Forwarder` with its producers/routes already attached.  The
+    loop is strictly batch-synchronous — receive a frame batch, drain the
+    simulation, reply with the outbound frames — so a worker's output is a
+    deterministic function of its input batches.
+    """
+    env = Environment()
+    forwarder = node_builder(env, shard_id, num_shards)
+    collector = _FrameCollector()
+    pipe_face = LocalFace(env, collector, label=f"shard{shard_id}:pipe")
+    fwd_face = LocalFace(env, forwarder, label=f"shard{shard_id}:fwd")
+    pipe_face.set_peer(fwd_face)
+    fwd_face.set_peer(pipe_face)
+    fwd_face.attach()
+    pipe_face.attach()
+    decodes_before = WirePacket.wire_decodes
+    wire_bytes_in = 0
+    wire_bytes_out = 0
+    try:
+        while True:
+            try:
+                blob = conn.recv_bytes()
+            except EOFError:
+                return
+            if blob == _QUIT:
+                stats = {
+                    "shard_id": shard_id,
+                    "wire_decodes": WirePacket.wire_decodes - decodes_before,
+                    "pit_entries": len(forwarder.pit),
+                    "cs_entries": len(forwarder.cs),
+                    "wire_bytes_in": wire_bytes_in,
+                    "wire_bytes_out": wire_bytes_out,
+                    "face_stats": fwd_face.stats.as_dict(),
+                }
+                conn.send_bytes(json.dumps(stats).encode("utf-8"))
+                return
+            for _tag, packet in iter_frames(blob):
+                wire_bytes_in += packet.size
+                pipe_face.send(packet)
+            env.run()
+            replies = collector.take()
+            wire_bytes_out += sum(packet.size for _tag, packet in replies)
+            conn.send_bytes(encode_frames(replies))
+    finally:
+        conn.close()
+
+
+class ShardWorkerPool:
+    """A real multi-process shard pool: forked workers fed frames over pipes.
+
+    This is the deployment-shaped half of the sharded data plane: each shard
+    is an OS process running its own forwarder, and the only thing that
+    ever crosses the pipe is the frame encoding of a wire buffer.  Workers
+    report a transit-decode count on shutdown so callers can assert the
+    boundary stayed bytes-only end to end.
+
+    Reuses the :mod:`repro.analysis.sweep` fork rationale: a forked child
+    sees every module already imported in the parent, so ``node_builder``
+    (any callable, even one defined in a test) resolves by reference.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        node_builder: Callable[[Environment, int, int], Forwarder],
+        key_depth: int = 1,
+    ) -> None:
+        if num_shards < 1:
+            raise NDNError(f"need at least one shard worker, got {num_shards}")
+        self.num_shards = num_shards
+        self.key_depth = key_depth
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = multiprocessing.get_context()
+        self._conns = []
+        self._procs = []
+        #: Parent-side accounting of wire payload bytes per shard pipe.
+        self.wire_bytes_to = [0] * num_shards
+        self.wire_bytes_from = [0] * num_shards
+        for shard_id in range(num_shards):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            proc = context.Process(
+                target=_shard_worker_main,
+                args=(child_conn, shard_id, num_shards, node_builder),
+                daemon=True,
+                name=f"shard-worker-{shard_id}",
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._closed = False
+
+    # ------------------------------------------------------------------ I/O
+
+    def route(self, packet: "WirePacket | AnyPacket") -> int:
+        """The worker a packet belongs to (consistent hash of its name)."""
+        return shard_for_name(WirePacket.of(packet).name, self.num_shards, self.key_depth)
+
+    def submit(self, packets: Sequence["WirePacket | AnyPacket"]) -> int:
+        """Partition ``packets`` by shard and send one frame batch per pipe.
+
+        Returns the number of packets submitted.
+        """
+        batches: dict[int, list[tuple[int, WirePacket]]] = {}
+        for packet in packets:
+            view = WirePacket.of(packet)
+            batches.setdefault(self.route(view), []).append((0, view))
+        for shard_id, items in batches.items():
+            self.wire_bytes_to[shard_id] += sum(view.size for _tag, view in items)
+            self._conns[shard_id].send_bytes(encode_frames(items))
+        return sum(len(items) for items in batches.values())
+
+    def collect(self, count: int, timeout_s: float = 30.0) -> list[WirePacket]:
+        """Gather ``count`` reply packets from the worker pipes."""
+        import time
+
+        deadline = time.monotonic() + timeout_s
+        results: list[WirePacket] = []
+        pending = {conn: shard_id for shard_id, conn in enumerate(self._conns)}
+        while len(results) < count:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise NDNError(
+                    f"shard pool timed out with {len(results)}/{count} replies"
+                )
+            ready = multiprocessing.connection.wait(list(pending), timeout=remaining)
+            for conn in ready:
+                blob = conn.recv_bytes()
+                shard_id = pending[conn]
+                for _tag, packet in iter_frames(blob):
+                    self.wire_bytes_from[shard_id] += packet.size
+                    results.append(packet)
+        return results
+
+    def close(self, timeout_s: float = 10.0) -> list[dict]:
+        """Shut every worker down and return their final stats reports.
+
+        Reply batches still sitting in a pipe (a close without — or after a
+        failed — ``collect``) are drained and counted, not mistaken for the
+        stats report; workers are joined (and terminated if hung) even when
+        a pipe read fails.
+        """
+        if self._closed:
+            return []
+        self._closed = True
+        reports: list[dict] = []
+        try:
+            for conn in self._conns:
+                try:
+                    conn.send_bytes(_QUIT)
+                except (BrokenPipeError, OSError):  # pragma: no cover - dead worker
+                    continue
+            for shard_id, conn in enumerate(self._conns):
+                try:
+                    # The stats report follows any unconsumed reply batches.
+                    while conn.poll(timeout_s):
+                        blob = conn.recv_bytes()
+                        report = self._parse_stats(blob)
+                        if report is not None:
+                            reports.append(report)
+                            break
+                        for _tag, packet in iter_frames(blob):
+                            self.wire_bytes_from[shard_id] += packet.size
+                except (EOFError, OSError, NDNError):  # pragma: no cover - dead worker
+                    pass
+                finally:
+                    conn.close()
+        finally:
+            for proc in self._procs:
+                proc.join(timeout=timeout_s)
+                if proc.is_alive():  # pragma: no cover - hung worker
+                    proc.terminate()
+                    proc.join(timeout=timeout_s)
+        return reports
+
+    @staticmethod
+    def _parse_stats(blob: bytes) -> "dict | None":
+        """The worker's JSON stats report, or ``None`` for a frame batch."""
+        if not blob.startswith(b"{"):
+            return None
+        try:
+            return json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):  # pragma: no cover - defensive
+            return None
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -13,6 +13,7 @@ The engine is deliberately small and deterministic:
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.exceptions import ProcessInterrupt, SimulationError
@@ -24,6 +25,7 @@ __all__ = [
     "Process",
     "AllOf",
     "AnyOf",
+    "Queue",
 ]
 
 #: Scheduling priority for urgent events (process resumption).
@@ -39,7 +41,10 @@ class Event:
     (scheduled with a value or an exception), and *processed* (callbacks ran).
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "name")
+    __slots__ = (
+        "env", "callbacks", "_value", "_ok", "_triggered", "_processed",
+        "_abandoned", "name",
+    )
 
     def __init__(self, env: "Environment", name: str = "") -> None:
         self.env = env
@@ -50,6 +55,7 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._processed = False
+        self._abandoned = False
 
     # -- state -------------------------------------------------------------
 
@@ -67,6 +73,15 @@ class Event:
     def ok(self) -> bool:
         """True when the event carries a value rather than an exception."""
         return self._ok
+
+    @property
+    def abandoned(self) -> bool:
+        """True when the process waiting on this event was interrupted away.
+
+        Primitives that hold waiter queues (e.g. :class:`Queue`) check this
+        so a value is never handed to an event nobody will ever observe.
+        """
+        return self._abandoned
 
     @property
     def value(self) -> Any:
@@ -162,9 +177,13 @@ class Interruption(Event):
             return  # process already terminated
         # Unsubscribe from whatever the process was waiting on, and forget it:
         # a stale target would make introspection (and a later re-interrupt)
-        # believe the process still waits on the abandoned event.
-        if proc._target is not None and proc._resume in proc._target.callbacks:
-            proc._target.callbacks.remove(proc._resume)
+        # believe the process still waits on the abandoned event.  The event
+        # itself is marked abandoned so waiter-queue primitives (Queue.get)
+        # never hand a value to it.
+        if proc._target is not None:
+            if proc._resume in proc._target.callbacks:
+                proc._target.callbacks.remove(proc._resume)
+            proc._target._abandoned = True
         proc._target = None
         proc._resume(self)
 
@@ -354,6 +373,67 @@ class AnyOf(ConditionEvent):
             self.fail(event.value)
             return
         self.succeed({event: event.value})
+
+
+class Queue:
+    """An unbounded deterministic FIFO channel between processes.
+
+    ``put`` never blocks; ``get`` returns an event that completes with the
+    next item.  Items are handed to getters strictly in FIFO order on both
+    sides (first ``put`` pairs with first ``get``), so any number of
+    producer/consumer processes sharing a queue stay reproducible —
+    this is what lets a sharded forwarder's per-shard service loops run
+    concurrently in simulated time without introducing scheduling
+    nondeterminism.
+
+    A pending ``get`` is *not* a scheduled event: a drained simulation with
+    idle queue consumers simply ends (``Environment.run()`` returns when the
+    event schedule is empty), which is how benchmark runs terminate without
+    poisoning the queue.
+    """
+
+    __slots__ = ("env", "_items", "_getters")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``; wakes the oldest waiting getter, if any.
+
+        Getters whose process was interrupted away (``Event.abandoned``)
+        are discarded rather than fed: handing them the item would lose it
+        in an event nobody observes.
+        """
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered or getter.abandoned:
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """An event completing with the next item (immediately if available)."""
+        event = self.env.event(name="queue-get")
+        # The queue watches its own getter events: if one processes after
+        # its waiter was interrupted away (abandoned with the value already
+        # attached — a put() and an interrupt in the same timestep), the
+        # item is recovered instead of dying in an event nobody observes.
+        event.callbacks.append(self._redeliver)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def _redeliver(self, event: Event) -> None:
+        if event._abandoned and event.ok:
+            self.put(event.value)
 
 
 class Environment:

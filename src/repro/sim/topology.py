@@ -21,12 +21,27 @@ __all__ = ["TopologyNode", "Link", "Topology"]
 
 @dataclass(frozen=True)
 class TopologyNode:
-    """A site in the wide-area topology (cluster gateway, client, data lake)."""
+    """A site in the wide-area topology (cluster gateway, client, data lake).
+
+    ``shards`` declares how many forwarder worker shards the node's data
+    plane runs (1 = a plain single-process forwarder).  The topology layer
+    only records the intent; :func:`repro.ndn.shard.forwarder_for_node`
+    builds the matching :class:`~repro.ndn.forwarder.Forwarder` or
+    :class:`~repro.ndn.shard.ShardedForwarder` — the NDN layer imports the
+    sim layer, never the reverse.
+    """
 
     name: str
     kind: str = "host"
     region: str = "default"
+    shards: int = 1
     attrs: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise SimulationError(
+                f"node {self.name!r} needs at least one shard, got {self.shards}"
+            )
 
 
 @dataclass(frozen=True)

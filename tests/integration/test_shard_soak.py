@@ -1,0 +1,160 @@
+"""Soak test for the sharded forwarder data plane.
+
+A 2-shard node sustains a thousand interleaved Interest/Data exchanges and
+must come out clean: no PIT entry leaked on any shard, no consumer session
+leaked, not a single wire-level decode in transit (the only decodes are the
+consumer materialising each Data), and the boundary byte counters balance
+exactly across every dispatcher↔shard pipe, in both directions.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.cluster_endpoint import LIDCCluster
+from repro.core.spec import ComputeRequest
+from repro.ndn.client import Consumer
+from repro.ndn.packet import Data, WirePacket
+from repro.ndn.shard import ShardedForwarder
+from repro.sim.engine import Environment
+
+TENANTS = [f"/soak{i}" for i in range(10)]
+WAVES = 20
+PER_WAVE = 50  # 20 waves x 50 = 1000 exchanges
+
+
+@pytest.fixture
+def soak_node(env):
+    node = ShardedForwarder(env, name="soak", shards=2, cs_capacity=0)
+    for tenant in TENANTS:
+        def handler(interest, _tenant=tenant):
+            return Data(
+                name=interest.name, content=b"payload:" + _tenant.encode()
+            ).sign()
+        node.attach_producer(tenant, handler)
+    return node
+
+
+class TestShardSoak:
+    def test_thousand_interleaved_exchanges_leak_nothing(self, env, soak_node):
+        consumer = Consumer(env, soak_node, name="soak-client")
+        decodes_before = WirePacket.wire_decodes
+        total = 0
+        for wave in range(WAVES):
+            completions = []
+            for i in range(PER_WAVE):
+                # Interleave tenants (and therefore shards) within the wave.
+                tenant = TENANTS[(wave + i) % len(TENANTS)]
+                completions.append(
+                    consumer.express_interest(f"{tenant}/wave{wave}/obj{i}")
+                )
+            done = env.all_of(completions)
+            env.run(until=done)
+            assert all(c.ok for c in completions)
+            total += len(completions)
+            # Between waves the data plane must already be clean: the PIT
+            # drains per exchange, not at teardown.
+            assert soak_node.pit_entries() == 0
+        assert total == WAVES * PER_WAVE
+
+        # Zero leaks after the full soak.
+        assert consumer.pending_count() == 0
+        assert soak_node.pit_entries() == 0
+
+        # Exactly one decode per exchange — the consumer's endpoint decode.
+        # Zero additional decodes means nothing in transit (dispatcher,
+        # boundary pipes, shard forwarders, producers) ever materialised a
+        # packet object.
+        assert WirePacket.wire_decodes - decodes_before == total
+
+        # FaceStats balance across every pipe boundary, both directions,
+        # and the soak actually used both shards.
+        boundary = soak_node.boundary_stats()
+        used_shards = set()
+        for (ext_id, shard_index), counters in boundary.items():
+            dispatcher, shard = counters["dispatcher"], counters["shard"]
+            assert dispatcher["bytes_out"] == shard["bytes_in"]
+            assert shard["bytes_out"] == dispatcher["bytes_in"]
+            assert dispatcher["interests_out"] == shard["interests_in"]
+            assert shard["data_out"] == dispatcher["data_in"]
+            assert dispatcher["drops"] == 0 and shard["drops"] == 0
+            if shard["bytes_in"] > 0:
+                used_shards.add(shard_index)
+        assert used_shards == {0, 1}
+
+        # The external face saw every exchange: one Interest in and one
+        # Data out per exchange, byte-for-byte what crossed the boundaries.
+        (ext_stats,) = soak_node.face_stats().values()
+        assert ext_stats["interests_in"] == total
+        assert ext_stats["data_out"] == total
+        total_in_across_pipes = sum(
+            counters["shard"]["bytes_in"] for counters in boundary.values()
+        )
+        assert total_in_across_pipes == ext_stats["bytes_in"]
+
+    def test_expired_interests_do_not_leak_pit_entries(self, env, soak_node):
+        """Unanswerable Interests (no route) churn through NACKs and leave
+        nothing behind; short-lived satisfied traffic around them keeps the
+        lazy expiry swept."""
+        consumer = Consumer(env, soak_node, name="churn-client")
+        outcomes = []
+        for round_index in range(10):
+            nacked = [
+                consumer.express_interest(f"/void/r{round_index}/{i}", lifetime=0.2)
+                for i in range(10)
+            ]
+            served = [
+                consumer.express_interest(f"{TENANTS[i % len(TENANTS)]}/r{round_index}/{i}")
+                for i in range(10)
+            ]
+            env.run()
+            outcomes.extend(nacked + served)
+            assert all(c.ok for c in served)
+            assert all(c.triggered and not c.ok for c in nacked)
+        for shard in soak_node.shards:
+            shard.pit.expire()
+            assert len(shard.pit) == 0
+        assert consumer.pending_count() == 0
+
+
+class TestShardedGatewaySoak:
+    def test_two_shard_cluster_serves_compute_and_status(self, env):
+        """The LIDC stack on a 2-shard gateway: jobs accepted, status
+        polled, per-shard transport stats exposed, nothing leaked."""
+        cluster = LIDCCluster(
+            env, ClusterSpec(name="shardy", node_count=2), gateway_shards=2
+        )
+        consumer = Consumer(env, cluster.gateway_nfd, name="client")
+        decodes_before = WirePacket.wire_decodes
+        acks = []
+        for i, dataset in enumerate(("SRR2931415", "SRR5139395")):
+            data = env.run(until=consumer.express_interest(
+                ComputeRequest(
+                    app="BLAST", cpu=2, memory_gb=4,
+                    dataset=dataset, reference="HUMAN",
+                ).to_name(),
+                lifetime=5.0,
+            ))
+            acks.append(json.loads(data.content_text()))
+        assert all(ack["accepted"] for ack in acks)
+
+        status = env.run(until=consumer.express_interest(
+            acks[0]["status_name"], lifetime=5.0, must_be_fresh=True
+        ))
+        assert json.loads(status.content_text())["state"] in (
+            "Pending", "Running", "Completed"
+        )
+
+        # Each consumer-visible Data decoded exactly once at the endpoint;
+        # the gateway's producers answer off lazy views.
+        assert WirePacket.wire_decodes - decodes_before == len(acks) + 1
+
+        stats = cluster.transport_stats()
+        assert "gateway_nfd/shard0" in stats and "gateway_nfd/shard1" in stats
+        sharded_bytes = sum(
+            stats[f"gateway_nfd/shard{i}"]["bytes_in"] for i in range(2)
+        )
+        assert sharded_bytes > 0
+        assert cluster.gateway_nfd.pit_entries() == 0
+        assert consumer.pending_count() == 0

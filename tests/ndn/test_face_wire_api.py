@@ -1,11 +1,15 @@
 """Tests for the bytes-first face transport API.
 
-Covers the WirePacket contract on ``send()``/``deliver()``, the legacy
-compat shim for endpoints that still expect decoded packets, the ``drops``
-counter, the ``connect()`` link pass-through fix for NetworkFace subclasses,
-and the no-decode guarantee for packets transiting a forwarder.
+Covers the WirePacket contract on ``send()``/``deliver()``, the clear error
+raised for legacy endpoints now that the decode-on-delivery shim is gone,
+the ``drops`` counter, the ``connect()`` link pass-through fix for
+NetworkFace subclasses, and the no-decode guarantee for packets transiting
+a forwarder.
 """
 
+import pytest
+
+from repro.exceptions import NDNError
 from repro.ndn.client import Consumer, Producer
 from repro.ndn.face import FaceStats, LocalFace, NetworkFace, connect
 from repro.ndn.forwarder import Forwarder
@@ -81,17 +85,22 @@ class TestWireDelivery:
         assert len(receiver.received) == 1
         assert isinstance(receiver.received[0], WirePacket)
 
-    def test_legacy_endpoint_receives_decoded_packet(self):
+    def test_legacy_endpoint_delivery_raises_clear_error(self):
+        """The decode-on-delivery shim is gone: delivery to an endpoint
+        without ``accepts_wire_packets`` fails loudly, naming the endpoint
+        and the fix."""
         env = Environment()
         sender, receiver = WireCollector(), LegacyCollector()
         face_a, _ = connect(env, sender, receiver, face_cls=LocalFace)
-        interest = Interest(name=Name("/legacy"))
-        face_a.send(interest)
-        env.run()
-        assert len(receiver.received) == 1
-        # The shim hands over the decoded object — here the original, since
-        # the view was built in-process from it.
-        assert receiver.received[0] is interest
+        with pytest.raises(NDNError, match="LegacyCollector.*accepts_wire_packets"):
+            face_a.send(Interest(name=Name("/legacy")))
+        assert receiver.received == []
+
+    def test_legacy_endpoint_error_mentions_shim_removal(self):
+        env = Environment()
+        face_a, _ = connect(env, WireCollector(), LegacyCollector(), face_cls=LocalFace)
+        with pytest.raises(NDNError, match="shim was removed"):
+            face_a.send(Data(name=Name("/legacy/d"), content=b"x").sign())
 
     def test_bytes_counted_as_wire_length(self):
         env = Environment()

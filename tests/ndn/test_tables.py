@@ -591,3 +591,122 @@ class TestFibProperties:
         else:
             assert entry is not None
             assert entry.prefix == max(matching, key=len)
+
+
+from collections import OrderedDict
+
+
+class _CountingEntries(OrderedDict):
+    """OrderedDict instrumented to count recency updates."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.move_calls = 0
+
+    def move_to_end(self, *args, **kwargs):
+        self.move_calls += 1
+        return super().move_to_end(*args, **kwargs)
+
+
+class TestUnboundedCapacity:
+    """capacity=None: eviction can never trigger, so hits must skip the
+    recency/frequency bookkeeping entirely (the ~8% ``move_to_end`` cost on
+    exact-match-heavy workloads flagged in the ROADMAP)."""
+
+    def test_unbounded_store_never_evicts(self):
+        cs = ContentStore(capacity=None)
+        for i in range(5000):
+            cs.insert(make_data(f"/n/{i}"))
+        assert len(cs) == 5000
+        assert cs.evictions == 0
+
+    def test_unbounded_lru_hit_skips_move_to_end(self):
+        """The regression guard for the fix: zero recency updates on the
+        unbounded hit path (deterministic, unlike a timing assertion)."""
+        cs = ContentStore(capacity=None, policy=CachePolicy.LRU)
+        for i in range(100):
+            cs.insert(make_data(f"/n/{i}"))
+        counting = _CountingEntries(cs._entries)
+        cs._entries = counting
+        for i in range(100):
+            assert cs.find(Interest(name=Name(f"/n/{i}"))) is not None
+        assert counting.move_calls == 0
+        assert cs.hits == 100
+
+    def test_bounded_lru_hit_still_updates_recency(self):
+        """Control for the instrumented test above: a bounded store keeps
+        paying move_to_end, and recency still decides eviction."""
+        cs = ContentStore(capacity=100, policy=CachePolicy.LRU)
+        for i in range(100):
+            cs.insert(make_data(f"/n/{i}"))
+        counting = _CountingEntries(cs._entries)
+        cs._entries = counting
+        for i in range(100):
+            cs.find(Interest(name=Name(f"/n/{i}")))
+        assert counting.move_calls == 100
+
+    def test_unbounded_lfu_skips_bucket_maintenance(self):
+        cs = ContentStore(capacity=None, policy=CachePolicy.LFU)
+        for i in range(10):
+            cs.insert(make_data(f"/n/{i}"))
+        for _ in range(3):
+            cs.find(Interest(name=Name("/n/0")))
+        assert cs._freq_buckets == {}
+        assert cs.hits == 3
+
+    def test_rebounding_capacity_restores_lru_eviction_order(self):
+        """Recency order is rebuilt from access times when an unbounded
+        store becomes bounded: the least-recently-touched entries evict."""
+        clock = {"now": 0.0}
+        cs = ContentStore(capacity=None, policy=CachePolicy.LRU,
+                          clock=lambda: clock["now"])
+        for i, uri in enumerate(("/a", "/b", "/c", "/d")):
+            clock["now"] = float(i)
+            cs.insert(make_data(uri))
+        clock["now"] = 10.0
+        cs.find(Interest(name=Name("/a")))  # /a becomes most recent
+        cs.capacity = 2
+        assert len(cs) == 2
+        assert "/a" in cs and "/d" in cs
+        assert "/b" not in cs and "/c" not in cs
+
+    def test_rebounding_capacity_keeps_fifo_arrival_order(self):
+        """FIFO order must survive the unbounded round-trip: a hit (or a
+        refresh, which updates arrival_time for freshness) must not
+        re-queue the entry — the dict's insertion order is authoritative."""
+        clock = {"now": 0.0}
+        cs = ContentStore(capacity=None, policy=CachePolicy.FIFO,
+                          clock=lambda: clock["now"])
+        for i, uri in enumerate(("/a", "/b", "/c")):
+            clock["now"] = float(i)
+            cs.insert(make_data(uri))
+        clock["now"] = 10.0
+        cs.find(Interest(name=Name("/a")))  # a late hit on the oldest entry
+        cs.insert(make_data("/a"))          # and a refresh: neither re-queues
+        cs.capacity = 2
+        assert "/a" not in cs  # oldest arrival evicts first, despite the hit
+        assert "/b" in cs and "/c" in cs
+
+    def test_rebounding_capacity_restores_lfu_buckets(self):
+        cs = ContentStore(capacity=None, policy=CachePolicy.LFU)
+        for uri in ("/a", "/b", "/c"):
+            cs.insert(make_data(uri))
+        for _ in range(2):
+            cs.find(Interest(name=Name("/a")))
+        cs.find(Interest(name=Name("/b")))
+        cs.capacity = 2  # rebuilt buckets: /c has 0 hits and evicts first
+        assert "/c" not in cs
+        assert "/a" in cs and "/b" in cs
+        # Bucket maintenance is live again: a new insert can evict by freq.
+        cs.insert(make_data("/d"))
+        assert len(cs) == 2
+        assert "/d" in cs and "/a" in cs
+
+    def test_unbounded_stats_report_infinite_capacity(self):
+        cs = ContentStore(capacity=None)
+        assert cs.stats()["capacity"] == float("inf")
+
+    def test_negative_capacity_still_rejected_via_setter(self):
+        cs = ContentStore(capacity=4)
+        with pytest.raises(NDNError):
+            cs.capacity = -1

@@ -353,3 +353,157 @@ class TestRunSemantics:
         env.timeout(1.0)
         env.timeout(2.0)
         assert env.queue_size == 2
+
+
+class TestQueue:
+    def test_put_then_get_is_immediate(self, env):
+        from repro.sim.engine import Queue
+
+        queue = Queue(env)
+        queue.put("a")
+        queue.put("b")
+        assert len(queue) == 2
+        got = []
+
+        def consumer():
+            first = yield queue.get()
+            second = yield queue.get()
+            got.extend([first, second])
+
+        env.run(until=env.process(consumer()))
+        assert got == ["a", "b"]
+        assert len(queue) == 0
+
+    def test_get_before_put_wakes_in_fifo_order(self, env):
+        from repro.sim.engine import Queue
+
+        queue = Queue(env)
+        received = []
+
+        def consumer(tag):
+            item = yield queue.get()
+            received.append((tag, item))
+
+        env.process(consumer("first"))
+        env.process(consumer("second"))
+
+        def producer():
+            yield env.timeout(1.0)
+            queue.put("x")
+            queue.put("y")
+
+        env.process(producer())
+        env.run()
+        # Oldest getter pairs with oldest item: deterministic FIFO both sides.
+        assert received == [("first", "x"), ("second", "y")]
+
+    def test_idle_consumer_does_not_keep_the_simulation_alive(self, env):
+        from repro.sim.engine import Queue
+
+        queue = Queue(env)
+
+        def consumer():
+            while True:
+                yield queue.get()
+
+        env.process(consumer())
+        queue.put(1)
+        env.run()  # must terminate: a pending get is not a scheduled event
+        assert env.queue_size == 0
+
+    def test_interleaved_producers_consumers_are_deterministic(self):
+        from repro.sim.engine import Environment, Queue
+
+        def run_once():
+            env = Environment()
+            queue = Queue(env)
+            log = []
+
+            def producer(tag, delay):
+                for i in range(3):
+                    yield env.timeout(delay)
+                    queue.put(f"{tag}{i}")
+
+            def consumer(tag):
+                while True:
+                    item = yield queue.get()
+                    log.append((env.now, tag, item))
+
+            env.process(producer("a", 1.0))
+            env.process(producer("b", 1.0))
+            env.process(consumer("c1"))
+            env.process(consumer("c2"))
+            env.run()
+            return log
+
+        assert run_once() == run_once()
+
+    def test_interrupted_getter_does_not_swallow_items(self, env):
+        """A consumer interrupted away from queue.get() abandons its get
+        event; a later put must reach the next live getter, not vanish
+        into the orphaned event."""
+        from repro.exceptions import ProcessInterrupt
+        from repro.sim.engine import Queue
+
+        queue = Queue(env)
+        received = []
+
+        def doomed():
+            try:
+                yield queue.get()
+            except ProcessInterrupt:
+                return "interrupted"
+
+        def survivor():
+            item = yield queue.get()
+            received.append(item)
+
+        doomed_proc = env.process(doomed())
+        env.process(survivor())
+
+        def driver():
+            yield env.timeout(1.0)
+            doomed_proc.interrupt("shutdown")
+            yield env.timeout(1.0)
+            queue.put("x")
+
+        env.process(driver())
+        env.run()
+        assert received == ["x"]
+        assert doomed_proc.value == "interrupted"
+        assert len(queue) == 0
+
+    def test_put_then_interrupt_in_same_timestep_recovers_the_item(self, env):
+        """put() may succeed a getter whose process is then interrupted
+        before the event processes (interrupts are URGENT-priority). The
+        queue must recover the in-flight item for the next live getter."""
+        from repro.exceptions import ProcessInterrupt
+        from repro.sim.engine import Queue
+
+        queue = Queue(env)
+        received = []
+
+        def doomed():
+            try:
+                yield queue.get()
+            except ProcessInterrupt:
+                return "interrupted"
+
+        def survivor():
+            yield env.timeout(2.0)
+            item = yield queue.get()
+            received.append(item)
+
+        doomed_proc = env.process(doomed())
+        env.process(survivor())
+
+        def driver():
+            yield env.timeout(1.0)
+            queue.put("x")              # succeeds doomed's getter event...
+            doomed_proc.interrupt("bye")  # ...which is then abandoned first
+
+        env.process(driver())
+        env.run()
+        assert doomed_proc.value == "interrupted"
+        assert received == ["x"]
+        assert len(queue) == 0
