@@ -1,8 +1,88 @@
-"""Helpers shared by the benchmark modules."""
+"""Helpers shared by the benchmark modules.
+
+Besides the human-readable console output, every ``bench_*.py`` module
+emits a machine-readable ``BENCH_<name>.json`` next to it, so the perf
+trajectory across PRs lives in versionable artefacts rather than commit
+messages.  Two paths feed those files:
+
+* Modules with their own runner (``bench_shard_scaling``,
+  ``bench_fastpath``) call :func:`write_bench_json` directly with their
+  headline medians.
+* Modules that are pure pytest-benchmark suites are covered by the
+  session hook in ``benchmarks/conftest.py``, which collects each
+  module's per-test medians (and ``extra_info``) at session end and
+  writes the same JSON shape for any module that did not write its own.
+
+Set ``BENCH_JSON_DIR`` to redirect the artefacts (e.g. into a CI
+artefact directory); the default is the ``benchmarks/`` directory.
+"""
 
 from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+
+#: Bench names written by an explicit ``write_bench_json`` call this
+#: session; the conftest session hook skips these so a module's own
+#: (richer) payload is never clobbered by the generic fixture sweep.
+_WRITTEN: set[str] = set()
 
 
 def report(table) -> None:
     """Print a ResultTable between blank lines so it stays readable in logs."""
     print("\n" + table.render() + "\n")
+
+
+def bench_json_path(name: str) -> str:
+    """Where ``BENCH_<name>.json`` lands (``BENCH_JSON_DIR`` overrides)."""
+    out_dir = os.environ.get("BENCH_JSON_DIR") or os.path.dirname(
+        os.path.abspath(__file__)
+    )
+    return os.path.join(out_dir, f"BENCH_{name}.json")
+
+
+def bench_environment() -> dict:
+    """The measurement context every BENCH json carries."""
+    git_rev = "unknown"
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if proc.returncode == 0 and proc.stdout.strip():
+            git_rev = proc.stdout.strip()
+    except (OSError, subprocess.SubprocessError):  # pragma: no cover - no git
+        pass
+    return {
+        "git_rev": git_rev,
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "unix_time": round(time.time(), 3),
+    }
+
+
+def write_bench_json(name: str, results: dict, config: "dict | None" = None) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``results`` holds the module's medians/splits/ratios; ``config`` the
+    run parameters that produced them.  Core count and git revision ride
+    along so numbers from different machines/revisions are never compared
+    blind.
+    """
+    payload = {
+        "bench": name,
+        "environment": bench_environment(),
+        "config": config or {},
+        "results": results,
+    }
+    path = bench_json_path(name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    _WRITTEN.add(name)
+    return path

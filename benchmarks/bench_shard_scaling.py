@@ -224,6 +224,8 @@ def run_benchmark(exchanges: int = 1500, reps: int = 5, pool_exchanges: int = 80
                   verbose: bool = True) -> dict:
     import os
 
+    from _bench_utils import write_bench_json
+
     def log(message: str) -> None:
         if verbose:
             print(message)
@@ -281,6 +283,25 @@ def run_benchmark(exchanges: int = 1500, reps: int = 5, pool_exchanges: int = 80
     )
     log("PASS: 2-shard >= 1.5x single-process (modelled, calibrated), "
         "0 transit decodes in every run")
+    write_bench_json(
+        "shard_scaling",
+        {
+            "calibration_us": {
+                "exchange": exchange_s * 1e6,
+                "dispatch": dispatch_s * 1e6,
+            },
+            "modelled": [
+                {key: run[key] for key in
+                 ("shards", "throughput_per_s", "speedup_vs_single_process", "key_split")}
+                for run in results["modelled"]
+            ],
+            "real_single_process_per_s": real_base,
+            "pool": results["pool"],
+            "transit_decodes": 0,
+        },
+        config={"exchanges": exchanges, "reps": reps,
+                "pool_exchanges": pool_exchanges, "tenants": len(TENANTS)},
+    )
     return results
 
 

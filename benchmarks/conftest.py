@@ -1,6 +1,79 @@
 """Benchmark-directory pytest configuration.
 
-The benchmark modules import shared helpers from ``_bench_utils``; nothing
-else is needed here because the repository-root ``conftest.py`` already makes
-``src/`` importable.
+The repository-root ``conftest.py`` already makes ``src/`` importable;
+this one adds the ``BENCH_<name>.json`` emission: at session end, every
+``bench_*.py`` module that ran gets a machine-readable artefact with its
+per-test medians (when the pytest-benchmark timers were enabled) and
+``extra_info`` annotations — see ``_bench_utils.write_bench_json``.
+Modules that write their own richer payload (``bench_shard_scaling``,
+``bench_fastpath``) are left alone.
 """
+
+from __future__ import annotations
+
+import os
+
+import _bench_utils
+
+#: bench name (module stem minus the ``bench_`` prefix) -> collected test ids.
+_BENCH_MODULES: dict[str, set[str]] = {}
+#: Test ids whose call phase actually executed this session.
+_RAN_TESTS: set[str] = set()
+
+
+def _bench_name(path: str) -> "str | None":
+    base = os.path.basename(str(path))
+    if base.startswith("bench_") and base.endswith(".py"):
+        return base[len("bench_"):-len(".py")]
+    return None
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        name = _bench_name(getattr(item, "fspath", ""))
+        if name is not None:
+            _BENCH_MODULES.setdefault(name, set()).add(item.nodeid)
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call":
+        _RAN_TESTS.add(report.nodeid)
+
+
+def _fixture_measurements(session) -> dict[str, dict[str, dict]]:
+    """Per-module per-test stats out of the pytest-benchmark session."""
+    measurements: dict[str, dict[str, dict]] = {}
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    for bench in getattr(bench_session, "benchmarks", []) or []:
+        name = _bench_name(str(bench.fullname).split("::", 1)[0])
+        if name is None:
+            continue
+        entry: dict = {"extra_info": dict(getattr(bench, "extra_info", {}) or {})}
+        stats = getattr(bench, "stats", None)  # pytest_benchmark.stats.Stats
+        if stats is not None and getattr(stats, "data", None):
+            entry["median_s"] = stats.median
+            entry["mean_s"] = stats.mean
+            entry["rounds"] = stats.rounds
+        measurements.setdefault(name, {})[bench.name] = entry
+    return measurements
+
+
+def pytest_sessionfinish(session, exitstatus):
+    # The BENCH files are versioned perf-trajectory artefacts: refresh one
+    # only from a *complete, green* run of its module.  A failed session,
+    # a `-k`-filtered subset, or `--collect-only` must not clobber the
+    # numbers a full run recorded.
+    if exitstatus != 0:
+        return
+    measurements = _fixture_measurements(session)
+    for name, test_ids in sorted(_BENCH_MODULES.items()):
+        if name in _bench_utils._WRITTEN:
+            continue  # the module wrote its own, richer payload
+        if not test_ids.issubset(_RAN_TESTS):
+            continue  # deselected/skipped subset: keep the existing artefact
+        module_measurements = measurements.get(name, {})
+        _bench_utils.write_bench_json(
+            name,
+            {"tests": sorted(test_ids), "measurements": module_measurements},
+            config={"benchmark_timers": bool(module_measurements)},
+        )

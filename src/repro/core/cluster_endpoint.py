@@ -68,6 +68,9 @@ class LIDCCluster:
         tracer: Optional[Tracer] = None,
         services: Optional[ServiceRegistry] = None,
         gateway_shards: int = 1,
+        gateway_partitioner: str = "ring",
+        gateway_shard_weights: Optional[tuple] = None,
+        gateway_hot_cache: int = 128,
     ) -> None:
         self.env = env
         self.spec = spec
@@ -89,7 +92,8 @@ class LIDCCluster:
             self.gateway_nfd: "Forwarder | ShardedForwarder" = ShardedForwarder(
                 env, name=f"{spec.name}-gw-nfd", shards=gateway_shards,
                 key_depth=4, cs_capacity=cs_capacity, cs_policy=CachePolicy.LRU,
-                tracer=self.tracer,
+                tracer=self.tracer, partitioner=gateway_partitioner,
+                shard_weights=gateway_shard_weights, hot_cache=gateway_hot_cache,
             )
         else:
             self.gateway_nfd = Forwarder(
@@ -231,7 +235,10 @@ class LIDCCluster:
         ingress/egress.  When the gateway runs a sharded data plane
         (``gateway_shards > 1``), each shard additionally reports under
         ``gateway_nfd/shard<i>`` — those totals count the shard's boundary
-        and producer faces, i.e. the wire bytes the shard itself handled.
+        and producer faces, i.e. the wire bytes the shard itself handled —
+        and ``gateway_nfd/hot_cache`` carries the dispatcher fast-path
+        counters (hits there are exchanges the shards never saw, which is
+        why shard byte totals can undercount repeat-name traffic).
         """
         report: dict[str, dict[str, int]] = {}
         for key, nfd in (("gateway_nfd", self.gateway_nfd), ("datalake_nfd", self.datalake_nfd)):
@@ -239,6 +246,8 @@ class LIDCCluster:
         if isinstance(self.gateway_nfd, ShardedForwarder):
             for index, shard in enumerate(self.gateway_nfd.shards):
                 report[f"gateway_nfd/shard{index}"] = self._face_totals(shard.face_stats())
+            if self.gateway_nfd.hot_cache is not None:
+                report["gateway_nfd/hot_cache"] = self.gateway_nfd.hot_cache.stats()
         return report
 
     def stats(self) -> dict[str, object]:

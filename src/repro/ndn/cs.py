@@ -104,6 +104,12 @@ class ContentStore:
         #: LFU state: hit-count -> names at that count, each in recency order.
         self._freq_buckets: dict[int, "OrderedDict[Name, None]"] = {}
         self._min_freq = 0
+        #: Coherence hook: called with each Name leaving the store (capacity
+        #: eviction, ``erase`` or ``clear``) so an upstream exact-match
+        #: mirror — e.g. the shard dispatcher's hot cache — can drop its
+        #: copy the moment this store stops vouching for it.  Refreshing an
+        #: existing entry in place does not fire it.
+        self.on_evict: Optional[Callable[[Name], None]] = None
         self.hits = 0
         self.misses = 0
         self.insertions = 0
@@ -202,6 +208,8 @@ class ContentStore:
         if self._index is not None:
             self._index.remove(victim)
         self.evictions += 1
+        if self.on_evict is not None:
+            self.on_evict(victim)
 
     def _pop_lfu_victim(self) -> Name:
         """Least-frequent (ties: least-recent) name, removed from its bucket."""
@@ -291,6 +299,17 @@ class ContentStore:
         self.hits += 1
         return entry.data
 
+    def arrival(self, name: Name) -> Optional[float]:
+        """When the entry under exactly ``name`` arrived, or ``None``.
+
+        This is the store's authoritative freshness anchor: a mirror tier
+        (the shard dispatcher's hot cache) must age its copy from the CS
+        arrival time, not from whenever it happened to observe the Data —
+        otherwise a stale re-serve would restart the freshness window.
+        """
+        entry = self._entries.get(name)
+        return None if entry is None else entry.arrival_time
+
     # -- maintenance ------------------------------------------------------------
 
     def erase(self, prefix: "Name | str") -> int:
@@ -301,9 +320,14 @@ class ContentStore:
             del self._entries[name]
             index.remove(name)
             self._unindex(name, entry)
+            if self.on_evict is not None:
+                self.on_evict(name)
         return len(victims)
 
     def clear(self) -> None:
+        if self.on_evict is not None:
+            for name in self._entries:
+                self.on_evict(name)
         self._entries.clear()
         self._index = None
         self._freq_buckets.clear()

@@ -39,6 +39,7 @@ __all__ = [
     "WirePacket",
     "InterestLike",
     "DataLike",
+    "encode_name_value",
 ]
 
 #: Default Interest lifetime (seconds); mirrors NDN's 4-second default.
@@ -69,11 +70,23 @@ class NackReason:
         return cls._LABELS.get(reason, f"Unknown({reason})")
 
 
-def _encode_name(name: Name) -> bytes:
-    body = b"".join(
+def encode_name_value(name: Name) -> bytes:
+    """The value bytes of a Name TLV: the concatenated component TLVs.
+
+    This is the canonical byte form of a name on the wire, and therefore
+    the key the shard dispatcher caches and hashes on
+    (:attr:`WirePacket.name_bytes` is the same bytes sliced out of a
+    received buffer).  Because components are encoded back to back and TLV
+    encoding is self-delimiting, name A is a prefix of name B exactly when
+    ``encode_name_value(A)`` is a byte-prefix of ``encode_name_value(B)``.
+    """
+    return b"".join(
         encode_tlv(TlvTypes.GENERIC_NAME_COMPONENT, comp.value) for comp in name
     )
-    return encode_tlv(TlvTypes.NAME, body)
+
+
+def _encode_name(name: Name) -> bytes:
+    return encode_tlv(TlvTypes.NAME, encode_name_value(name))
 
 
 def _decode_name_span(buffer: bytes, start: int, end: int) -> Name:
@@ -441,12 +454,17 @@ class WirePacket:
         "_body_end",
         "_spans",
         "_name",
+        "_name_tlv",
         "_nack_interest",
     )
 
     #: Class-level count of full decodes that had to parse the wire
     #: (cached-object returns are free and not counted).
     wire_decodes: int = 0
+    #: Class-level count of shallow TLV span walks that actually scanned a
+    #: buffer (memoised re-reads are free and not counted).  The shard
+    #: dispatcher's no-rescan invariant is asserted against this.
+    span_scans: int = 0
     #: Optional observer called with the view after each counted wire decode.
     decode_hook = None
 
@@ -469,6 +487,7 @@ class WirePacket:
         self._body_end = -1
         self._spans: "dict[int, tuple[int, int, int]] | None" = None
         self._name: Optional[Name] = None
+        self._name_tlv: Optional[bytes] = None
         self._nack_interest: "WirePacket | None" = None
 
     # -- construction ---------------------------------------------------------
@@ -519,6 +538,7 @@ class WirePacket:
         if self._spans is None:
             self._header()
             self._spans = scan_tlv_spans(self._buf, self._body_start, self._body_end)
+            WirePacket.span_scans += 1
         return self._spans
 
     def _require(self, expected: int, what: str) -> None:
@@ -563,6 +583,38 @@ class WirePacket:
                     raise TLVDecodeError("packet without a Name")
                 self._name = _decode_name_span(self._buf, span[1], span[2])
         return self._name
+
+    @property
+    def name_bytes(self) -> bytes:
+        """The packet name as canonical wire bytes (the Name TLV's value).
+
+        This is the shard dispatcher's key: a single memoised slice of the
+        buffer, so repeat dispatch of the same view neither re-walks TLV
+        spans nor materialises :class:`~repro.ndn.name.Name` components.  A
+        Nack exposes its enclosed Interest's name bytes.  Equal to
+        :func:`encode_name_value` of :attr:`name`.
+
+        When the span table is not already populated, the slice is taken
+        from the packet's *first* body TLV (the Name leads both Interests
+        and Data in this codec, as in NDN v0.3) — one header decode, no
+        full span walk; packets that deviate fall back to the scan.
+        """
+        if self._name_tlv is None:
+            if self._header() == TlvTypes.NACK:
+                self._name_tlv = self.interest.name_bytes
+                return self._name_tlv
+            if self._spans is None:
+                first_type, value_start, value_end = decode_tlv_header(
+                    self._buf, self._body_start
+                )
+                if first_type == TlvTypes.NAME and value_end <= self._body_end:
+                    self._name_tlv = self._buf[value_start:value_end]
+                    return self._name_tlv
+            span = self._scan().get(TlvTypes.NAME)
+            if span is None:
+                raise TLVDecodeError("packet without a Name")
+            self._name_tlv = self._buf[span[1]:span[2]]
+        return self._name_tlv
 
     def _value(self, type_number: int) -> Optional[bytes]:
         span = self._scan().get(type_number)
@@ -678,6 +730,9 @@ class WirePacket:
         clone._name = self._name if self._name is not None else (
             self._decoded.name if self._decoded is not None else None
         )
+        # The name bytes are untouched by the hop-limit patch: hand the
+        # memoised slice over so the next dispatcher never re-slices.
+        clone._name_tlv = self._name_tlv
         # Only the hop-limit byte changed, so the clone's TLV layout is this
         # view's layout re-based to offset 0 — hand the parse over instead of
         # making the next hop walk the buffer again.
@@ -700,6 +755,44 @@ class WirePacket:
         body = encode_tlv(TlvTypes.NACK_REASON, encode_nonneg_int(reason)) + self.wire
         view = WirePacket(encode_tlv(TlvTypes.NACK, body))
         view._nack_interest = self
+        return view
+
+    # -- parse-memo handover --------------------------------------------------
+
+    def adopt_name_memos(self, source: "WirePacket") -> None:
+        """Copy ``source``'s name memos onto this view of the same bytes.
+
+        Used when a packet is rebuilt from its own wire (a shard-boundary
+        frame round-trip): the parsed :class:`Name` and the name-bytes
+        slice are immutable artefacts of the buffer, so handing them over
+        — never the decoded packet object — keeps transit bytes-only
+        while ensuring no header is parsed twice.  Owned here so the memo
+        field list lives next to the slots it mirrors.
+        """
+        self._name = source._name if source._name is not None else (
+            source._decoded.name if source._decoded is not None else None
+        )
+        self._name_tlv = source._name_tlv
+
+    def detached_view(self) -> "WirePacket":
+        """A fresh bytes-only view sharing this buffer and its parse.
+
+        The clone carries the TLV layout, memoised name and name bytes —
+        serving it costs no span walk — but no decoded object and none of
+        this view's identity: decoding the clone can never contaminate
+        this view (or vice versa).  The span dict is shared and treated
+        as immutable after the first scan.  This is what the shard
+        dispatcher's hot cache serves.
+        """
+        if self._start != 0:  # sub-view of a larger buffer: re-parse lazily
+            return WirePacket(self.wire)
+        view = WirePacket(self._buf)
+        view._type = self._type
+        view._body_start = self._body_start
+        view._body_end = self._body_end
+        view._spans = self._spans
+        view._name = self._name
+        view._name_tlv = self._name_tlv
         return view
 
     # -- full decode ----------------------------------------------------------

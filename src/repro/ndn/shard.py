@@ -16,11 +16,18 @@ Partitioning contract
   per-tenant style partitioning; deeper keys suit single-rooted namespaces
   like ``/ndn/k8s/...``).  A name shorter than ``key_depth`` keys on all of
   its components.
-* ``shard_for_key`` is a consistent hash on a ring of virtual nodes built
-  from :func:`hashlib.sha256` — deterministic across processes, runs and
-  ``PYTHONHASHSEED`` (never Python's randomised ``hash``).  Growing the
-  shard count from N to N+1 only moves keys *onto the new shard*; keys that
-  stay map to the same shard as before.
+* Two partitioners share the interface (a deterministic ``key -> shard``
+  function, selected by the ``partitioner`` option): the default
+  ``"ring"`` (:func:`shard_for_key`, a consistent hash over 256 virtual
+  nodes per shard) and ``"rendezvous"`` (:func:`rendezvous_for_key`,
+  highest-random-weight hashing, optionally with per-shard weights).  Both
+  are built from :func:`hashlib.sha256` — deterministic across processes,
+  runs and ``PYTHONHASHSEED`` (never Python's randomised ``hash``) — and
+  both guarantee that growing the shard count from N to N+1 only moves
+  keys *onto the new shard*; keys that stay map to the same shard as
+  before.  Rendezvous needs no ring construction, balances small key
+  populations (e.g. 64 tenants on 4 shards) tighter than the ring, and
+  its weighted form gives a shard a key share proportional to its weight.
 * An Interest and the Data/Nack that answers it carry the same name, so
   they always land on the same shard: each shard owns the complete
   PIT/CS/FIB state for its slice of the namespace and no cross-shard
@@ -34,6 +41,28 @@ Partitioning contract
   prefix-matched Interest name (the default of 1 is always safe for
   non-empty names, because a satisfying Data name extends the Interest
   name and therefore shares its first component).
+
+Dispatcher fast path
+--------------------
+Every packet crosses the dispatcher, so the dispatcher is the hottest
+point in the sharded plane.  Two optimisations keep it lean:
+
+* *Dispatch keys come from bytes, not objects.*  The dispatcher hashes
+  :attr:`WirePacket.name_bytes` — a memoised single slice of the wire —
+  through :func:`key_from_name_bytes`; no :class:`Name` components are
+  materialised and repeat dispatch of the same view never re-walks spans.
+* *An exact-match hot cache answers repeat Interests in place.*  A bounded
+  :class:`~repro.ndn.strategy.DispatcherHotCache` mirrors the Data the
+  shards recently served: a hit sends the cached wire frame straight back
+  out the ingress face — no hash, no boundary crossing, no shard
+  round-trip, and zero decodes (counter-enforced by benchmarks and tests).
+  Coherence is explicit: entries are admitted only while resident in the
+  owning shard's Content Store with positive freshness, served only within
+  the freshness window, and invalidated eagerly on shard-CS eviction
+  (:attr:`ContentStore.on_evict`) and on producer (re-)install under a
+  covering prefix.  One semantic note: like any cache placed ahead of the
+  PIT, a hot-cache hit answers before duplicate-nonce detection — a repeat
+  nonce is served Data rather than a Duplicate Nack.
 
 Boundary mechanics
 ------------------
@@ -66,11 +95,14 @@ from __future__ import annotations
 import bisect
 import hashlib
 import json
+import math
 import multiprocessing
 import multiprocessing.connection
 import struct
+import time
+from collections import deque
 from functools import lru_cache
-from typing import Callable, Iterator, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.exceptions import NDNError
 from repro.ndn.cs import CachePolicy
@@ -79,8 +111,9 @@ from repro.ndn.forwarder import Forwarder
 from repro.ndn.name import Name
 from repro.ndn.nametree import as_name
 from repro.ndn.packet import WirePacket
-from repro.ndn.strategy import Strategy
-from repro.sim.engine import Environment, Queue
+from repro.ndn.strategy import DispatcherHotCache, Strategy
+from repro.ndn.tlv import decode_tlv_header
+from repro.sim.engine import Environment, SerialServer
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.trace import Tracer
 
@@ -88,6 +121,11 @@ __all__ = [
     "shard_key",
     "shard_for_key",
     "shard_for_name",
+    "rendezvous_for_key",
+    "rendezvous_for_name",
+    "key_from_name_bytes",
+    "make_shard_picker",
+    "PARTITIONERS",
     "encode_frame",
     "decode_frame",
     "encode_frames",
@@ -149,6 +187,127 @@ def shard_for_key(key: bytes, num_shards: int) -> int:
 def shard_for_name(name: "Name | str", num_shards: int, key_depth: int = 1) -> int:
     """The shard owning ``name`` (see the module partitioning contract)."""
     return shard_for_key(shard_key(name, key_depth), num_shards)
+
+
+def rendezvous_for_key(
+    key: bytes, num_shards: int, weights: Optional[Sequence[float]] = None
+) -> int:
+    """Rendezvous-hash (HRW) ``key`` onto one of ``num_shards`` shards.
+
+    Each shard scores the key independently (sha256 of shard id + key);
+    the highest score wins.  Growing the pool adds one new contender whose
+    score does not perturb the others — exactly the ring's stability
+    property — but with no vnode construction, and measurably tighter
+    balance on small key populations.
+
+    ``weights`` (one positive float per shard) selects *weighted*
+    rendezvous via the logarithmic method: shard ``i`` scores
+    ``-w_i / ln(u)`` with ``u`` drawn uniformly from the key hash, so its
+    expected key share is ``w_i / sum(w)``.  Keys are stable under growth
+    as long as existing shards keep their weights.
+    """
+    if num_shards < 1:
+        raise NDNError(f"need at least one shard, got {num_shards}")
+    if weights is not None:
+        weights = tuple(float(weight) for weight in weights)
+        if len(weights) != num_shards:
+            raise NDNError(
+                f"got {len(weights)} shard weights for {num_shards} shards"
+            )
+        if any(weight <= 0 for weight in weights):
+            raise NDNError(f"shard weights must be positive, got {weights}")
+    if num_shards == 1:
+        return 0
+    best_shard = 0
+    best_score: "float | int | None" = None
+    for shard in range(num_shards):
+        digest = hashlib.sha256(b"hrw:%d:" % shard + key).digest()
+        point = int.from_bytes(digest[:8], "big")
+        if weights is None:
+            score: "float | int" = point
+        else:
+            # u in (0, 1): +0.5 lifts u off 0, and the explicit clamp
+            # keeps it strictly below 1.0 — near the top hash extreme the
+            # division rounds to exactly 1.0 in float64, where ln(u) = 0
+            # would make the weighted score divide by zero.
+            u = (point + 0.5) / 2.0 ** 64
+            if u >= 1.0:
+                u = 1.0 - 2.0 ** -53
+            score = -weights[shard] / math.log(u)
+        if best_score is None or score > best_score:
+            best_shard, best_score = shard, score
+    return best_shard
+
+
+def rendezvous_for_name(
+    name: "Name | str",
+    num_shards: int,
+    key_depth: int = 1,
+    weights: Optional[Sequence[float]] = None,
+) -> int:
+    """The rendezvous-partitioned shard owning ``name``."""
+    return rendezvous_for_key(shard_key(name, key_depth), num_shards, weights)
+
+
+def key_from_name_bytes(name_value: bytes, key_depth: int) -> bytes:
+    """The shard key sliced straight out of canonical name bytes.
+
+    ``name_value`` is a Name TLV's value (:attr:`WirePacket.name_bytes`);
+    the result equals :func:`shard_key` of the same name without ever
+    materialising :class:`Name` components — this is what the dispatcher
+    hashes per packet.
+    """
+    if key_depth < 1:
+        raise NDNError(f"shard key depth must be >= 1, got {key_depth}")
+    parts = []
+    offset = 0
+    end = len(name_value)
+    while offset < end and len(parts) < key_depth:
+        _comp_type, value_start, value_end = decode_tlv_header(name_value, offset)
+        parts.append(name_value[value_start:value_end])
+        offset = value_end
+    return b"/".join(parts)
+
+
+#: Partitioner names accepted by :func:`make_shard_picker` (and therefore by
+#: :class:`ShardedForwarder`, :class:`ShardWorkerPool` and the topology).
+PARTITIONERS = ("ring", "rendezvous")
+
+
+def make_shard_picker(
+    partitioner: str,
+    num_shards: int,
+    weights: Optional[Sequence[float]] = None,
+) -> Callable[[bytes], int]:
+    """A memoised ``key -> shard`` function for the chosen partitioner.
+
+    The returned picker caches up to 4096 distinct keys (tenant
+    populations are small next to packet counts), so steady-state dispatch
+    pays a dict hit, not a hash computation, whichever partitioner runs
+    underneath.
+    """
+    if partitioner == "ring":
+        if weights is not None:
+            raise NDNError(
+                "shard weights require the 'rendezvous' partitioner "
+                "(the ring weights all shards equally)"
+            )
+        picker = lru_cache(maxsize=4096)(
+            lambda key: shard_for_key(key, num_shards)
+        )
+    elif partitioner == "rendezvous":
+        if weights is not None:
+            weights = tuple(float(weight) for weight in weights)
+        # Validate once up front, not per key.
+        rendezvous_for_key(b"", num_shards, weights)
+        picker = lru_cache(maxsize=4096)(
+            lambda key: rendezvous_for_key(key, num_shards, weights)
+        )
+    else:
+        raise NDNError(
+            f"unknown partitioner {partitioner!r} (expected one of {PARTITIONERS})"
+        )
+    return picker
 
 
 # --------------------------------------------------------------------- frames
@@ -244,42 +403,10 @@ def iter_frames(buffer: bytes) -> Iterator[tuple[int, WirePacket]]:
 
 # ------------------------------------------------------------- serial servers
 
-
-class _SerialServer:
-    """One serial execution resource in simulated time (a worker's core).
-
-    ``submit`` runs actions in FIFO order, spending ``service_time_s`` of
-    simulated time on each; a zero service time short-circuits to an
-    immediate synchronous call so the default configuration adds no
-    scheduling overhead at all.
-    """
-
-    __slots__ = ("env", "service_time_s", "served", "_queue")
-
-    def __init__(self, env: Environment, service_time_s: float, name: str) -> None:
-        self.env = env
-        self.service_time_s = service_time_s
-        self.served = 0
-        self._queue: Optional[Queue] = None
-        if service_time_s > 0:
-            self._queue = Queue(env)
-            env.process(self._run(), name=f"serve:{name}")
-
-    def submit(self, action: Callable[[], None]) -> None:
-        if self._queue is None:
-            self.served += 1
-            action()
-            return
-        self._queue.put(action)
-
-    def _run(self):
-        queue = self._queue
-        assert queue is not None
-        while True:
-            action = yield queue.get()
-            yield self.env.timeout(self.service_time_s)
-            self.served += 1
-            action()
+#: The serial-resource primitive moved to the engine layer
+#: (:class:`repro.sim.engine.SerialServer`); this alias keeps the shard
+#: module's historical name importable.
+_SerialServer = SerialServer
 
 
 # --------------------------------------------------------------- shard faces
@@ -291,7 +418,11 @@ class ShardFace(Face):
     Every packet is round-tripped through the frame codec — serialised to
     bytes, reconstructed as a fresh :class:`WirePacket` with the span table
     handed over — so the far side holds a bytes-only view even when sender
-    and receiver share a process.  ``deliver_server``, when given, is the
+    and receiver share a process.  The sender's memoised ``name`` and name
+    bytes ride along the same way the span table does (immutable parse
+    artefacts, not decoded packet objects — ``is_decoded`` stays False on
+    the far side), so neither endpoint of an in-process boundary ever
+    parses the same header twice.  ``deliver_server``, when given, is the
     receiving shard's serial server: delivery queues behind that shard's
     per-packet service time.
     """
@@ -315,6 +446,11 @@ class ShardFace(Face):
         self.frames += 1
         self.frame_bytes += len(frame)
         _tag, restored, _end = decode_frame(frame, 0)
+        # Hand over the name memos (never the decoded object): the shard
+        # side reads ``name`` for its tables and the dispatcher side reads
+        # ``name_bytes`` for hashing/hot-cache keys — one parse per packet,
+        # wherever it happened first.
+        restored.adopt_name_memos(packet)
         if self._deliver_server is None:
             peer.deliver(restored)
         else:
@@ -327,16 +463,21 @@ class _ShardRelay:
     Packets a shard emits towards an external face land here; the relay
     queues the outbound send on the dispatcher's serial server, mirroring
     the real deployment where the dispatcher thread also writes egress
-    frames back to the network.
+    frames back to the network.  The relay knows which shard it fronts, so
+    egress Data can be mirrored into the dispatcher hot cache attributed
+    to its owning shard.
     """
 
     accepts_wire_packets = True
 
-    __slots__ = ("_owner", "_ext_face_id", "face")
+    __slots__ = ("_owner", "_ext_face_id", "_shard_index", "face")
 
-    def __init__(self, owner: "ShardedForwarder", ext_face_id: int) -> None:
+    def __init__(
+        self, owner: "ShardedForwarder", ext_face_id: int, shard_index: int
+    ) -> None:
         self._owner = owner
         self._ext_face_id = ext_face_id
+        self._shard_index = shard_index
         self.face: Optional[Face] = None
 
     def add_face(self, face: Face) -> int:
@@ -344,7 +485,7 @@ class _ShardRelay:
         return 0
 
     def receive_packet(self, packet: WirePacket, face: Face) -> None:
-        self._owner._egress(self._ext_face_id, packet)
+        self._owner._egress(self._ext_face_id, packet, self._shard_index)
 
 
 # ---------------------------------------------------------- sharded forwarder
@@ -396,6 +537,11 @@ class ShardedForwarder:
     is how benchmarks model multi-core scaling deterministically; both
     default to zero (no modelled cost).
 
+    ``partitioner`` selects the key placement function (``"ring"`` or
+    ``"rendezvous"``; ``shard_weights`` enables weighted rendezvous), and
+    ``hot_cache`` sizes the dispatcher's exact-match hot cache (0 disables
+    it) — see the module docstring for the fast-path coherence contract.
+
     Producers attached under a prefix shorter than ``key_depth`` are
     installed on every shard; such handlers must answer synchronously
     (returning Data/Nack from the callback), because the face returned by
@@ -418,6 +564,9 @@ class ShardedForwarder:
         metrics: Optional[MetricsRegistry] = None,
         dispatch_service_s: float = 0.0,
         shard_service_s: float = 0.0,
+        partitioner: str = "ring",
+        shard_weights: Optional[Sequence[float]] = None,
+        hot_cache: int = 128,
     ) -> None:
         if shards < 1:
             raise NDNError(f"{name}: need at least one shard, got {shards}")
@@ -427,6 +576,8 @@ class ShardedForwarder:
         self.name = name
         self.num_shards = shards
         self.key_depth = key_depth
+        self.partitioner = partitioner
+        self._picker = make_shard_picker(partitioner, shards, shard_weights)
         self.tracer = tracer or Tracer(clock=lambda: env.now, enabled=False)
         self.metrics = metrics or MetricsRegistry(clock=lambda: env.now)
         self.shards: list[Forwarder] = [
@@ -440,13 +591,26 @@ class ShardedForwarder:
             )
             for index in range(shards)
         ]
-        self._dispatch_server = _SerialServer(env, dispatch_service_s, f"{name}:dispatch")
+        self.hot_cache: Optional[DispatcherHotCache] = (
+            DispatcherHotCache(hot_cache) if hot_cache else None
+        )
+        if self.hot_cache is not None:
+            # Shard-CS coherence: the moment a shard's Content Store stops
+            # holding a name, the dispatcher must stop serving it too.
+            for shard in self.shards:
+                shard.cs.on_evict = self.hot_cache.invalidate_name
+        self._dispatch_server = SerialServer(env, dispatch_service_s, f"{name}:dispatch")
         self._shard_servers = [
-            _SerialServer(env, shard_service_s, f"{name}/shard{index}")
+            SerialServer(env, shard_service_s, f"{name}/shard{index}")
             for index in range(shards)
         ]
         self._faces: dict[int, Face] = {}
         self._next_face_id = 1
+        # Per-packet counters resolved once: the registry lookup is cheap
+        # but not free, and these increment on the hottest paths.
+        self._dispatched = self.metrics.counter("packets_dispatched")
+        self._hot_hits = self.metrics.counter("hot_cache_hits")
+        self._dropped_no_face = self.metrics.counter("packets_dropped_no_face")
         #: (external face id, shard index) -> (dispatcher-side, shard-side) pair.
         self._mirrors: dict[tuple[int, int], tuple[ShardFace, ShardFace]] = {}
         #: (prefix, external face id) -> shard indices the route lives on.
@@ -469,7 +633,7 @@ class ShardedForwarder:
         self._next_face_id += 1
         self._faces[face_id] = face
         for index, shard in enumerate(self.shards):
-            relay = _ShardRelay(self, face_id)
+            relay = _ShardRelay(self, face_id, index)
             dispatcher_side = ShardFace(
                 self.env, relay,
                 label=f"{self.name}:pipe:{face_id}>shard{index}",
@@ -510,9 +674,13 @@ class ShardedForwarder:
     # ----------------------------------------------------------------- routes
 
     def _owning_shards(self, prefix: Name) -> list[int]:
-        """The shards a prefix's routes/producers must live on."""
+        """The shards a prefix's routes/producers must live on.
+
+        Uses the node's configured partitioner, so registrations and
+        per-packet dispatch can never disagree about ownership.
+        """
         if len(prefix) >= self.key_depth:
-            return [shard_for_name(prefix, self.num_shards, self.key_depth)]
+            return [self._picker(shard_key(prefix, self.key_depth))]
         return list(range(self.num_shards))
 
     def register_prefix(self, prefix: "Name | str", face: "Face | int", cost: float = 0.0) -> None:
@@ -558,8 +726,14 @@ class ShardedForwarder:
         Returns the application face on the first owning shard; when the
         prefix spans several shards the handler is attached to each and must
         answer synchronously (see the class docstring).
+
+        Installing (or re-installing) a producer invalidates every hot-cache
+        entry under the prefix: the new handler may answer differently, and
+        the dispatcher must not keep serving its predecessor's Data.
         """
         prefix = as_name(prefix)
+        if self.hot_cache is not None:
+            self.hot_cache.invalidate_under(prefix)
         faces = [
             self.shards[index].attach_producer(prefix, handler, delay_s)
             for index in self._owning_shards(prefix)
@@ -572,27 +746,93 @@ class ShardedForwarder:
         """Entry point for packets arriving on an external face."""
         wire_packet = WirePacket.of(packet)
         ext_id = face.face_id
-        self.metrics.counter("packets_dispatched").inc()
+        self._dispatched.inc()
         self._dispatch_server.submit(lambda: self._dispatch(wire_packet, ext_id))
 
     def _dispatch(self, wire_packet: WirePacket, ext_id: int) -> None:
-        index = shard_for_name(wire_packet.name, self.num_shards, self.key_depth)
+        if self.hot_cache is not None and wire_packet.is_interest:
+            if self._fast_path(wire_packet, ext_id):
+                return
+        index = self._picker(
+            key_from_name_bytes(wire_packet.name_bytes, self.key_depth)
+        )
         pair = self._mirrors.get((ext_id, index))
         if pair is None:  # external face removed while the packet queued
-            self.metrics.counter("packets_dropped_no_face").inc()
+            self._dropped_no_face.inc()
             return
-        self.tracer.record("shard", "dispatch", name=wire_packet.name, shard=index, face=ext_id)
+        if self.tracer.enabled:
+            self.tracer.record(
+                "shard", "dispatch", name=wire_packet.name, shard=index, face=ext_id
+            )
         pair[0].send(wire_packet)
 
-    def _egress(self, ext_id: int, packet: WirePacket) -> None:
-        self._dispatch_server.submit(lambda: self._send_out(ext_id, packet))
+    def _fast_path(self, interest: WirePacket, ext_id: int) -> bool:
+        """Serve a repeat Interest from the dispatcher hot cache.
 
-    def _send_out(self, ext_id: int, packet: WirePacket) -> None:
+        0 decodes and no Name components, counter-enforced; the only
+        parsing a hit pays is the Interest's own one-time shallow span
+        walk (for the hop-limit check — never a re-walk, and never the
+        Data's).  Returns False (take the shard path) on any miss, stale
+        entry, or an exhausted hop limit (the owning shard drops those,
+        and the cache must not resurrect them).
+        """
+        cache = self.hot_cache
+        assert cache is not None
+        template = cache.get(interest.name_bytes, self.env.now)
+        if template is None:
+            return False
+        if interest.hop_limit <= 0:
+            # Not served after all: hand the lookup back so the cache's
+            # hit ledger keeps matching the exchanges actually answered.
+            cache.hits -= 1
+            cache.misses += 1
+            return False
+        self._hot_hits.inc()
+        if self.tracer.enabled:
+            self.tracer.record("shard", "hot-hit", name=interest.name, face=ext_id)
+        self._send_out(ext_id, template.detached_view())
+        return True
+
+    def _egress(self, ext_id: int, packet: WirePacket, from_shard: int) -> None:
+        self._dispatch_server.submit(
+            lambda: self._send_out(ext_id, packet, from_shard)
+        )
+
+    def _send_out(
+        self, ext_id: int, packet: WirePacket, from_shard: Optional[int] = None
+    ) -> None:
+        if from_shard is not None and self.hot_cache is not None and packet.is_data:
+            self._hot_insert(packet, from_shard)
         face = self._faces.get(ext_id)
         if face is None:
-            self.metrics.counter("packets_dropped_no_face").inc()
+            self._dropped_no_face.inc()
             return
         face.send(packet)
+
+    def _hot_insert(self, packet: WirePacket, shard_index: int) -> None:
+        """Mirror egress Data into the hot cache (coherence gates apply).
+
+        Admitted only while resident in the owning shard's Content Store —
+        the CS eviction callback can then always reach the mirrored copy.
+        This runs on every egressed Data, so it is deliberately cheap: the
+        name rides over from the shard boundary, the key is one memoised
+        slice, and the freshness TLV is *not* read here — the hot cache
+        validates it lazily on the entry's first lookup, so cache-hostile
+        (no-repeat) workloads never pay a span walk per Data.  The raw
+        egress view is stored as the template; every serve (and the lazy
+        validation) goes through a detached clone-or-read that a
+        consumer-side decode of the delivered view cannot contaminate.
+        """
+        cache = self.hot_cache
+        assert cache is not None
+        arrival = self.shards[shard_index].cs.arrival(packet.name)
+        if arrival is None:
+            return
+        # Age the mirrored entry from the CS arrival time, not egress time:
+        # a shard CS may re-serve stale Data (non-MustBeFresh semantics),
+        # and anchoring at egress would restart the freshness window and
+        # let the fast path serve what the CS itself considers stale.
+        cache.insert(packet.name_bytes, packet, arrival, None, shard_index)
 
     # ------------------------------------------------------------------- misc
 
@@ -629,11 +869,13 @@ class ShardedForwarder:
         return {
             "name": self.name,
             "shards": self.num_shards,
+            "partitioner": self.partitioner,
             "faces": len(self._faces),
             "face_stats": self.face_stats(),
             "fib_entries": len(self.fib),
             "pit_entries": self.pit_entries(),
             "dispatched": self._dispatch_server.served,
+            "hot_cache": self.hot_cache.stats() if self.hot_cache is not None else None,
             "shard_stats": self.shard_stats(),
             "metrics": self.metrics.snapshot(),
         }
@@ -647,14 +889,21 @@ def forwarder_for_node(env: Environment, node, **kwargs):
 
     ``node.shards == 1`` yields a plain :class:`Forwarder`; more yields a
     :class:`ShardedForwarder`.  Keyword arguments are passed through, with
-    shard-only options (``key_depth``, service times) dropped for the
-    single-process case.
+    shard-only options (``key_depth``, partitioner/weights, hot cache,
+    service times) dropped for the single-process case.  The node's own
+    ``partitioner``/``shard_weights`` declarations (when present) are the
+    defaults; explicit keyword arguments win.
     """
     shards = getattr(node, "shards", 1)
     if shards <= 1:
-        for shard_only in ("key_depth", "dispatch_service_s", "shard_service_s"):
+        for shard_only in (
+            "key_depth", "dispatch_service_s", "shard_service_s",
+            "partitioner", "shard_weights", "hot_cache",
+        ):
             kwargs.pop(shard_only, None)
         return Forwarder(env, name=node.name, **kwargs)
+    kwargs.setdefault("partitioner", getattr(node, "partitioner", "ring"))
+    kwargs.setdefault("shard_weights", getattr(node, "shard_weights", None))
     return ShardedForwarder(env, name=node.name, shards=shards, **kwargs)
 
 
@@ -689,9 +938,12 @@ def _shard_worker_main(conn, shard_id: int, num_shards: int, node_builder) -> No
 
     ``node_builder(env, shard_id, num_shards)`` returns the shard's
     :class:`Forwarder` with its producers/routes already attached.  The
-    loop is strictly batch-synchronous — receive a frame batch, drain the
-    simulation, reply with the outbound frames — so a worker's output is a
-    deterministic function of its input batches.
+    loop replies exactly once per input blob — receive a frame batch,
+    drain the simulation, reply with the outbound frames — so a worker's
+    output is a deterministic function of its input batches whether the
+    parent drives it batch-synchronously (:meth:`ShardWorkerPool.submit` /
+    :meth:`~ShardWorkerPool.collect`) or keeps a pipelined window in
+    flight (:meth:`~ShardWorkerPool.stream`).
     """
     env = Environment()
     forwarder = node_builder(env, shard_id, num_shards)
@@ -705,6 +957,8 @@ def _shard_worker_main(conn, shard_id: int, num_shards: int, node_builder) -> No
     decodes_before = WirePacket.wire_decodes
     wire_bytes_in = 0
     wire_bytes_out = 0
+    frames_in = 0
+    frames_out = 0
     try:
         while True:
             try:
@@ -719,16 +973,20 @@ def _shard_worker_main(conn, shard_id: int, num_shards: int, node_builder) -> No
                     "cs_entries": len(forwarder.cs),
                     "wire_bytes_in": wire_bytes_in,
                     "wire_bytes_out": wire_bytes_out,
+                    "frames_in": frames_in,
+                    "frames_out": frames_out,
                     "face_stats": fwd_face.stats.as_dict(),
                 }
                 conn.send_bytes(json.dumps(stats).encode("utf-8"))
                 return
             for _tag, packet in iter_frames(blob):
                 wire_bytes_in += packet.size
+                frames_in += 1
                 pipe_face.send(packet)
             env.run()
             replies = collector.take()
             wire_bytes_out += sum(packet.size for _tag, packet in replies)
+            frames_out += len(replies)
             conn.send_bytes(encode_frames(replies))
     finally:
         conn.close()
@@ -753,11 +1011,15 @@ class ShardWorkerPool:
         num_shards: int,
         node_builder: Callable[[Environment, int, int], Forwarder],
         key_depth: int = 1,
+        partitioner: str = "ring",
+        shard_weights: Optional[Sequence[float]] = None,
     ) -> None:
         if num_shards < 1:
             raise NDNError(f"need at least one shard worker, got {num_shards}")
         self.num_shards = num_shards
         self.key_depth = key_depth
+        self.partitioner = partitioner
+        self._picker = make_shard_picker(partitioner, num_shards, shard_weights)
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-fork platforms
@@ -767,6 +1029,13 @@ class ShardWorkerPool:
         #: Parent-side accounting of wire payload bytes per shard pipe.
         self.wire_bytes_to = [0] * num_shards
         self.wire_bytes_from = [0] * num_shards
+        #: Parent-side frame counts per pipe, matched against the workers'
+        #: own ``frames_in``/``frames_out`` reports by the drain guarantee.
+        self.frames_to = [0] * num_shards
+        self.frames_from = [0] * num_shards
+        #: Input batches sent minus reply blobs received, per pipe (the
+        #: streaming window accounting; close() drains whatever remains).
+        self._inflight = [0] * num_shards
         for shard_id in range(num_shards):
             parent_conn, child_conn = context.Pipe(duplex=True)
             proc = context.Process(
@@ -784,8 +1053,14 @@ class ShardWorkerPool:
     # ------------------------------------------------------------------ I/O
 
     def route(self, packet: "WirePacket | AnyPacket") -> int:
-        """The worker a packet belongs to (consistent hash of its name)."""
-        return shard_for_name(WirePacket.of(packet).name, self.num_shards, self.key_depth)
+        """The worker a packet belongs to (partitioner hash of its name).
+
+        Reads the packet's memoised name bytes — the same byte-level key
+        extraction the in-sim dispatcher uses; no Name is materialised.
+        """
+        return self._picker(
+            key_from_name_bytes(WirePacket.of(packet).name_bytes, self.key_depth)
+        )
 
     def submit(self, packets: Sequence["WirePacket | AnyPacket"]) -> int:
         """Partition ``packets`` by shard and send one frame batch per pipe.
@@ -798,13 +1073,13 @@ class ShardWorkerPool:
             batches.setdefault(self.route(view), []).append((0, view))
         for shard_id, items in batches.items():
             self.wire_bytes_to[shard_id] += sum(view.size for _tag, view in items)
+            self.frames_to[shard_id] += len(items)
+            self._inflight[shard_id] += 1
             self._conns[shard_id].send_bytes(encode_frames(items))
         return sum(len(items) for items in batches.values())
 
     def collect(self, count: int, timeout_s: float = 30.0) -> list[WirePacket]:
         """Gather ``count`` reply packets from the worker pipes."""
-        import time
-
         deadline = time.monotonic() + timeout_s
         results: list[WirePacket] = []
         pending = {conn: shard_id for shard_id, conn in enumerate(self._conns)}
@@ -818,18 +1093,127 @@ class ShardWorkerPool:
             for conn in ready:
                 blob = conn.recv_bytes()
                 shard_id = pending[conn]
+                self._inflight[shard_id] -= 1
                 for _tag, packet in iter_frames(blob):
                     self.wire_bytes_from[shard_id] += packet.size
+                    self.frames_from[shard_id] += 1
                     results.append(packet)
         return results
+
+    def stream(
+        self,
+        packets: Iterable["WirePacket | AnyPacket"],
+        window: int = 4,
+        max_batch: int = 32,
+        timeout_s: float = 30.0,
+    ) -> Iterator[WirePacket]:
+        """Pipelined submit-while-collecting: yield replies as they arrive.
+
+        The batch-synchronous API (:meth:`submit` then :meth:`collect`)
+        makes an interactive client pay a full pipe round-trip per
+        request.  This generator instead keeps up to ``window`` coalesced
+        frame batches (each at most ``max_batch`` frames) in flight *per
+        pipe*, refilling windows as reply blobs drain — parent-side encode
+        overlaps worker-side processing and pipe latency is hidden behind
+        the in-flight window.
+
+        Exact byte/frame accounting is preserved: every frame is counted
+        into ``wire_bytes_to``/``frames_to`` when sent and
+        ``wire_bytes_from``/``frames_from`` when its reply blob is read —
+        a whole blob is accounted *before* its frames are yielded, so
+        abandoning the generator mid-blob cannot lose frames from the
+        ledger.  Replies from one worker stay in submission order; across
+        workers, arrival order is OS-timing dependent.  ``timeout_s`` is
+        an inactivity bound (no reply blob for that long raises).  After
+        abandoning a stream mid-flight, only :meth:`close` is safe — it
+        drains the remaining windows deterministically.
+
+        The parent drains every ready reply *before* each potentially
+        blocking send, so the in-flight window may exceed the OS pipe
+        buffers without wedging either end.  The remaining requirement is
+        per-message: one coalesced batch (``max_batch * frame_size``, and
+        its reply) must fit the pipe buffer — typically 64 KiB; the
+        defaults coalesce a few KiB.
+        """
+        if self._closed:
+            raise NDNError("cannot stream through a closed shard pool")
+        if window < 1:
+            raise NDNError(f"stream window must be >= 1, got {window}")
+        if max_batch < 1:
+            raise NDNError(f"stream max_batch must be >= 1, got {max_batch}")
+        source = iter(packets)
+        pending: list[deque[WirePacket]] = [deque() for _ in range(self.num_shards)]
+        shard_of = {id(conn): shard_id for shard_id, conn in enumerate(self._conns)}
+        outbox: deque[WirePacket] = deque()
+        high_water = self.num_shards * window * max_batch
+        exhausted = False
+
+        def drain(timeout: float) -> bool:
+            """Receive ready reply blobs into the outbox; True if any came."""
+            waitable = [
+                conn for shard_id, conn in enumerate(self._conns)
+                if self._inflight[shard_id]
+            ]
+            if not waitable:
+                return False
+            ready = multiprocessing.connection.wait(waitable, timeout=timeout)
+            for conn in ready:
+                shard_id = shard_of[id(conn)]
+                blob = conn.recv_bytes()
+                self._inflight[shard_id] -= 1
+                frames = list(iter_frames(blob))
+                self.wire_bytes_from[shard_id] += sum(v.size for _t, v in frames)
+                self.frames_from[shard_id] += len(frames)
+                outbox.extend(view for _tag, view in frames)
+            return bool(ready)
+
+        while True:
+            # Top up the partition queues, then every open window.
+            while not exhausted and sum(map(len, pending)) < high_water:
+                try:
+                    view = WirePacket.of(next(source))
+                except StopIteration:
+                    exhausted = True
+                    break
+                pending[self.route(view)].append(view)
+            for shard_id, backlog in enumerate(pending):
+                while self._inflight[shard_id] < window and backlog:
+                    items: list[tuple[int, WirePacket]] = []
+                    while backlog and len(items) < max_batch:
+                        items.append((0, backlog.popleft()))
+                    # Clear the reply pipes before a send that may block:
+                    # a worker stuck writing its reply would otherwise stop
+                    # reading input, wedging both ends mid-write.
+                    drain(0)
+                    self.wire_bytes_to[shard_id] += sum(v.size for _t, v in items)
+                    self.frames_to[shard_id] += len(items)
+                    self._inflight[shard_id] += 1
+                    self._conns[shard_id].send_bytes(encode_frames(items))
+            while outbox:
+                yield outbox.popleft()
+            if exhausted and not any(pending) and not any(self._inflight):
+                return
+            if not drain(timeout_s):
+                raise NDNError(
+                    f"shard pool stream stalled for {timeout_s}s with "
+                    f"{sum(self._inflight)} batches in flight"
+                )
+            while outbox:
+                yield outbox.popleft()
 
     def close(self, timeout_s: float = 10.0) -> list[dict]:
         """Shut every worker down and return their final stats reports.
 
-        Reply batches still sitting in a pipe (a close without — or after a
-        failed — ``collect``) are drained and counted, not mistaken for the
-        stats report; workers are joined (and terminated if hung) even when
-        a pipe read fails.
+        Reply batches still sitting in a pipe — a close without (or after
+        a failed) ``collect``, or a :meth:`stream` abandoned with windows
+        in flight — are drained and counted into
+        ``wire_bytes_from``/``frames_from``, not mistaken for the stats
+        report.  The ``_QUIT`` sentinel queues behind every batch already
+        sent, and the worker replies once per batch before acknowledging
+        it, so the drain is deterministic: afterwards the parent's frame
+        ledger matches the workers' own ``frames_in``/``frames_out``
+        reports exactly — zero lost frames.  Workers are joined (and
+        terminated if hung) even when a pipe read fails.
         """
         if self._closed:
             return []
@@ -850,8 +1234,10 @@ class ShardWorkerPool:
                         if report is not None:
                             reports.append(report)
                             break
+                        self._inflight[shard_id] -= 1
                         for _tag, packet in iter_frames(blob):
                             self.wire_bytes_from[shard_id] += packet.size
+                            self.frames_from[shard_id] += 1
                 except (EOFError, OSError, NDNError):  # pragma: no cover - dead worker
                     pass
                 finally:

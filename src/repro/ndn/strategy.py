@@ -9,11 +9,17 @@ cluster location.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Optional, Sequence
 
+from repro.exceptions import NDNError
 from repro.ndn.fib import FibEntry
 from repro.ndn.name import Name
-from repro.ndn.packet import Interest
+from repro.ndn.packet import Interest, encode_name_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ndn.packet import WirePacket
+
 from repro.sim.rng import SeededRNG
 
 __all__ = [
@@ -22,6 +28,7 @@ __all__ = [
     "MulticastStrategy",
     "LoadBalanceStrategy",
     "StrategyChoiceTable",
+    "DispatcherHotCache",
 ]
 
 
@@ -107,6 +114,180 @@ class LoadBalanceStrategy(Strategy):
         counter = self._counters.get(fib_entry.prefix, 0)
         self._counters[fib_entry.prefix] = counter + 1
         return [eligible[counter % len(eligible)].face_id]
+
+
+class _HotEntry:
+    """One hot-cache slot: a bytes-only Data template plus its lease.
+
+    ``freshness_s`` is ``None`` until the entry's first lookup: admission
+    happens on the egress fast path, where reading the freshness TLV would
+    cost a span walk per egressed Data even on cache-hostile workloads, so
+    the read is deferred to the first hit and amortised over every serve.
+    """
+
+    __slots__ = ("template", "arrival", "freshness_s", "shard_index")
+
+    def __init__(
+        self,
+        template: "WirePacket",
+        arrival: float,
+        freshness_s: "float | None",
+        shard_index: int,
+    ) -> None:
+        self.template = template
+        self.arrival = arrival
+        self.freshness_s = freshness_s
+        self.shard_index = shard_index
+
+    def is_fresh(self, now: float) -> bool:
+        if self.freshness_s is None:
+            self.freshness_s = self.template.freshness_period
+        if self.freshness_s <= 0:
+            return False  # like the CS: no freshness period = always stale
+        return (now - self.arrival) <= self.freshness_s
+
+
+class DispatcherHotCache:
+    """A bounded exact-match wire-frame cache for a shard dispatcher.
+
+    This is the strategy tier in front of a sharded data plane: the
+    dispatcher consults it before consistent-hashing a packet, so repeat
+    Interests for a hot name are answered from the dispatcher itself —
+    no hash, no boundary frame, no shard round-trip, and **zero decodes**
+    (the stored template and every lookup key are plain bytes).
+
+    Keys are the canonical name bytes (:attr:`WirePacket.name_bytes`, equal
+    to :func:`~repro.ndn.packet.encode_name_value` of the Name); values are
+    bytes-only Data views.  Eviction is LRU over ``capacity`` slots.
+
+    Coherence contract (the cache must never serve what its shard CS has
+    stopped vouching for): an entry is admitted only while resident in the
+    owning shard's Content Store, is served only inside its freshness
+    window (zero-freshness Data is never served; the freshness TLV is read
+    lazily on the entry's first lookup so cache-hostile workloads never
+    pay for it), and is dropped eagerly on
+
+    * the owning shard CS evicting/erasing the name (wired through
+      :attr:`~repro.ndn.cs.ContentStore.on_evict`),
+    * a producer (re-)installing under any covering prefix
+      (:meth:`invalidate_under`), and
+    * LRU capacity eviction here.
+    """
+
+    __slots__ = (
+        "capacity", "_entries", "hits", "misses", "insertions",
+        "invalidations", "expirations", "evictions",
+    )
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise NDNError(f"hot cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[bytes, _HotEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.invalidations = 0
+        self.expirations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._entries
+
+    # -- fast path -----------------------------------------------------------
+
+    def get(self, key: bytes, now: float) -> "WirePacket | None":
+        """The fresh Data template under ``key``, or ``None`` (a miss).
+
+        Stale (or zero-freshness) entries are dropped on sight: once the
+        freshness window has passed, only the shard CS may decide whether
+        stale content is still servable, so the fast path steps aside.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if not entry.is_fresh(now):
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.template
+
+    # -- population ----------------------------------------------------------
+
+    def insert(
+        self,
+        key: bytes,
+        template: "WirePacket",
+        now: float,
+        freshness_s: "float | None" = None,
+        shard_index: int = 0,
+    ) -> None:
+        """Admit (or refresh) a Data template under ``key``.
+
+        ``freshness_s=None`` defers the freshness read to the entry's
+        first lookup (the egress fast path never walks the Data's spans);
+        an explicit non-positive value rejects the admission outright.
+        """
+        if freshness_s is not None and freshness_s <= 0:
+            return
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        elif len(entries) >= self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+        entries[key] = _HotEntry(template, now, freshness_s, shard_index)
+        self.insertions += 1
+
+    # -- coherence -----------------------------------------------------------
+
+    def invalidate(self, key: bytes) -> bool:
+        """Drop the entry under exactly ``key``; True when one was held."""
+        if self._entries.pop(key, None) is not None:
+            self.invalidations += 1
+            return True
+        return False
+
+    def invalidate_name(self, name: "Name") -> bool:
+        """Drop the entry for a :class:`Name` (the CS eviction callback)."""
+        return self.invalidate(encode_name_value(name))
+
+    def invalidate_under(self, prefix: "Name") -> int:
+        """Drop every entry under ``prefix`` (producer install/re-install).
+
+        Component TLVs concatenate, so prefix-of-name is byte-prefix-of-key;
+        the scan is bounded by ``capacity``, and a producer install is a
+        control-plane event, not a per-packet one.
+        """
+        prefix_bytes = encode_name_value(prefix)
+        victims = [key for key in self._entries if key.startswith(prefix_bytes)]
+        for key in victims:
+            del self._entries[key]
+        self.invalidations += len(victims)
+        return len(victims)
+
+    def clear(self) -> None:
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "invalidations": self.invalidations,
+            "expirations": self.expirations,
+            "evictions": self.evictions,
+        }
 
 
 class StrategyChoiceTable:

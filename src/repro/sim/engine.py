@@ -26,6 +26,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Queue",
+    "SerialServer",
 ]
 
 #: Scheduling priority for urgent events (process resumption).
@@ -434,6 +435,52 @@ class Queue:
     def _redeliver(self, event: Event) -> None:
         if event._abandoned and event.ok:
             self.put(event.value)
+
+
+class SerialServer:
+    """One serial execution resource in simulated time (a worker's core).
+
+    ``submit`` runs actions in FIFO order, spending ``service_time_s`` of
+    simulated time on each; a zero service time short-circuits to an
+    immediate synchronous call so the default configuration adds no
+    scheduling overhead at all.  This is the engine primitive behind the
+    sharded forwarder's dispatcher and per-shard service loops — promoted
+    here so any model needing a deterministic single-threaded resource
+    (one queue, one consumer, FIFO) can reuse it.
+    """
+
+    __slots__ = ("env", "service_time_s", "served", "_queue")
+
+    def __init__(self, env: "Environment", service_time_s: float, name: str = "serial") -> None:
+        if service_time_s < 0:
+            raise SimulationError(f"negative service time {service_time_s!r}")
+        self.env = env
+        self.service_time_s = service_time_s
+        self.served = 0
+        self._queue: Optional[Queue] = None
+        if service_time_s > 0:
+            self._queue = Queue(env)
+            env.process(self._run(), name=f"serve:{name}")
+
+    def __len__(self) -> int:
+        """Actions queued but not yet served (0 in synchronous mode)."""
+        return len(self._queue) if self._queue is not None else 0
+
+    def submit(self, action: Callable[[], None]) -> None:
+        if self._queue is None:
+            self.served += 1
+            action()
+            return
+        self._queue.put(action)
+
+    def _run(self):
+        queue = self._queue
+        assert queue is not None
+        while True:
+            action = yield queue.get()
+            yield self.env.timeout(self.service_time_s)
+            self.served += 1
+            action()
 
 
 class Environment:

@@ -12,6 +12,7 @@ from repro.ndn.shard import (
     ShardedForwarder,
     ShardWorkerPool,
     forwarder_for_node,
+    rendezvous_for_name,
     shard_for_name,
 )
 from repro.sim.engine import Environment
@@ -271,6 +272,97 @@ class TestShardWorkerPool:
                 interest = Interest(name=Name(f"{tenant}/x"))
                 assert pool.route(interest) == shard_for_name(interest.name, 4)
 
+    def test_rendezvous_pool_routes_and_serves(self):
+        with ShardWorkerPool(3, build_worker_node, partitioner="rendezvous") as pool:
+            for tenant in TENANTS:
+                interest = Interest(name=Name(f"{tenant}/x"))
+                assert pool.route(interest) == rendezvous_for_name(interest.name, 3)
+            interests = [Interest(name=Name(f"{t}/r/1"), hop_limit=9) for t in TENANTS]
+            submitted = pool.submit(interests)
+            replies = pool.collect(submitted, timeout_s=30.0)
+            assert {str(r.name) for r in replies} == {str(i.name) for i in interests}
+
+
+class TestShardWorkerPoolStreaming:
+    def test_stream_returns_the_same_replies_as_batch_mode(self):
+        interests = [
+            Interest(name=Name(f"{tenant}/s/{i}"), hop_limit=16)
+            for tenant in TENANTS for i in range(6)
+        ]
+        before = WirePacket.wire_decodes
+        with ShardWorkerPool(2, build_worker_node) as pool:
+            replies = list(pool.stream(iter(interests), window=3, max_batch=4))
+            reports = pool.close()
+        assert {str(r.name) for r in replies} == {str(i.name) for i in interests}
+        assert WirePacket.wire_decodes == before
+        assert all(report["wire_decodes"] == 0 for report in reports)
+        # The frame ledger balances exactly, both directions per pipe.
+        by_shard = {report["shard_id"]: report for report in reports}
+        for shard_id in range(2):
+            assert pool.frames_to[shard_id] == by_shard[shard_id]["frames_in"]
+            assert pool.frames_from[shard_id] == by_shard[shard_id]["frames_out"]
+            assert pool.wire_bytes_to[shard_id] == by_shard[shard_id]["wire_bytes_in"]
+            assert pool.wire_bytes_from[shard_id] == by_shard[shard_id]["wire_bytes_out"]
+        assert sum(pool.frames_from) == len(interests)
+
+    def test_stream_with_window_one_behaves_interactively(self):
+        """window=1, max_batch=1 degenerates to per-packet round trips —
+        the interactive-client shape — and still loses nothing."""
+        interests = [Interest(name=Name(f"{t}/one")) for t in TENANTS]
+        with ShardWorkerPool(2, build_worker_node) as pool:
+            replies = list(pool.stream(interests, window=1, max_batch=1))
+            reports = pool.close()
+        assert len(replies) == len(interests)
+        assert sum(pool.frames_to) == len(interests)
+        assert sum(r["frames_in"] for r in reports) == len(interests)
+
+    def test_replies_from_one_worker_preserve_submission_order(self):
+        only_tenant = TENANTS[0]  # everything lands on one shard
+        interests = [
+            Interest(name=Name(f"{only_tenant}/ordered/{i}")) for i in range(40)
+        ]
+        with ShardWorkerPool(2, build_worker_node) as pool:
+            replies = list(pool.stream(interests, window=2, max_batch=8))
+            pool.close()
+        assert [str(r.name) for r in replies] == [str(i.name) for i in interests]
+
+    def test_abandoned_stream_close_drains_every_frame(self):
+        """The close/drain guarantee extended to pipelined mode: break out
+        of a stream with windows in flight; close() must account for every
+        frame the workers produced — zero lost frames."""
+        interests = [
+            Interest(name=Name(f"{tenant}/drain/{i}"))
+            for tenant in TENANTS for i in range(8)
+        ]
+        pool = ShardWorkerPool(2, build_worker_node)
+        consumed = 0
+        for _reply in pool.stream(interests, window=2, max_batch=4):
+            consumed += 1
+            if consumed == 5:
+                break  # abandon mid-flight
+        reports = pool.close()
+        assert len(reports) == 2
+        by_shard = {report["shard_id"]: report for report in reports}
+        for shard_id in range(2):
+            assert pool.frames_to[shard_id] == by_shard[shard_id]["frames_in"]
+            assert pool.frames_from[shard_id] == by_shard[shard_id]["frames_out"], (
+                "frames lost on the abandoned-stream close path"
+            )
+            assert pool.wire_bytes_from[shard_id] == by_shard[shard_id]["wire_bytes_out"]
+        # Every submitted frame was answered and every answer is in the ledger.
+        assert sum(pool.frames_from) == sum(pool.frames_to)
+        assert all(not proc.is_alive() for proc in pool._procs)
+
+    def test_stream_rejects_bad_windows_and_closed_pools(self):
+        pool = ShardWorkerPool(1, build_worker_node)
+        with pytest.raises(NDNError):
+            next(pool.stream([], window=0))
+        with pytest.raises(NDNError):
+            next(pool.stream([], max_batch=0))
+        pool.close()
+        with pytest.raises(NDNError):
+            next(pool.stream([Interest(name=Name("/t0/x"))]))
+
 
 class TestTopologyIntegration:
     def test_forwarder_for_node_builds_by_shard_count(self, env):
@@ -282,8 +374,36 @@ class TestTopologyIntegration:
         assert isinstance(sharded, ShardedForwarder)
         assert sharded.num_shards == 3 and sharded.key_depth == 3
 
+    def test_forwarder_for_node_honours_declared_partitioner(self, env):
+        node = TopologyNode(
+            "gw3", shards=3, partitioner="rendezvous", shard_weights=(1.0, 2.0, 1.0)
+        )
+        sharded = forwarder_for_node(env, node, cs_capacity=16)
+        assert isinstance(sharded, ShardedForwarder)
+        assert sharded.partitioner == "rendezvous"
+        # Ownership decisions go through the weighted rendezvous picker.
+        from repro.ndn.shard import rendezvous_for_key, shard_key
+        for tenant in TENANTS:
+            assert sharded._picker(shard_key(tenant, 1)) == rendezvous_for_key(
+                shard_key(tenant, 1), 3, (1.0, 2.0, 1.0)
+            )
+
     def test_topology_node_rejects_nonpositive_shards(self):
         from repro.exceptions import SimulationError
 
         with pytest.raises(SimulationError):
             TopologyNode("bad", shards=0)
+
+    def test_topology_node_validates_partitioner_declarations(self):
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError):
+            TopologyNode("bad", shards=2, partitioner="mystery")
+        with pytest.raises(SimulationError):
+            TopologyNode("bad", shards=2, shard_weights=(1.0, 2.0))  # ring + weights
+        with pytest.raises(SimulationError):
+            TopologyNode("bad", shards=2, partitioner="rendezvous",
+                         shard_weights=(1.0,))
+        with pytest.raises(SimulationError):
+            TopologyNode("bad", shards=2, partitioner="rendezvous",
+                         shard_weights=(1.0, -1.0))

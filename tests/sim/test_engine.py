@@ -507,3 +507,34 @@ class TestQueue:
         assert doomed_proc.value == "interrupted"
         assert received == ["x"]
         assert len(queue) == 0
+
+
+class TestSerialServer:
+    """The serial-resource primitive promoted from the shard module."""
+
+    def test_zero_service_time_is_synchronous(self, env):
+        from repro.sim.engine import SerialServer
+
+        server = SerialServer(env, 0.0, name="sync")
+        ran = []
+        server.submit(lambda: ran.append(env.now))
+        assert ran == [0.0]          # ran inline, no event scheduled
+        assert server.served == 1
+        assert len(server) == 0
+
+    def test_positive_service_time_serialises_fifo(self, env):
+        from repro.sim.engine import SerialServer
+
+        server = SerialServer(env, 0.5, name="serial")
+        finished = []
+        for label in ("a", "b", "c"):
+            server.submit(lambda _label=label: finished.append((_label, env.now)))
+        env.run()
+        assert finished == [("a", 0.5), ("b", 1.0), ("c", 1.5)]
+        assert server.served == 3
+
+    def test_negative_service_time_rejected(self, env):
+        from repro.sim.engine import SerialServer
+
+        with pytest.raises(SimulationError):
+            SerialServer(env, -0.1)
