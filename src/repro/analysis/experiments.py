@@ -35,6 +35,8 @@ __all__ = [
     "run_forwarding_exchange",
     "Table1Result",
     "run_table1",
+    "Table1Measurement",
+    "StrategyOutcome",
     "NamePlacementResult",
     "run_fig2_name_placement",
     "ServiceMappingResult",

@@ -1,0 +1,65 @@
+"""reprolint: project-specific static analysis for the repro codebase.
+
+The runtime invariants this codebase depends on — transiting Data is never
+decoded, simulation runs are bit-deterministic, hot-path entries are cheap
+to hold, frame ledgers balance — are asserted dynamically by counters in
+benches and soak tests, which only cover the code paths those suites happen
+to exercise.  reprolint enforces the same contracts *statically*, on every
+line, at CI time.
+
+Usage::
+
+    python -m repro.analysis.lint src/            # strict/relaxed per path
+    python -m repro.analysis.lint --list-rules    # the rule catalog
+
+Programmatic::
+
+    from repro.analysis.lint import Linter
+    report = Linter().lint_paths(["src"])
+    assert report.ok, report.unwaived
+
+See :mod:`repro.analysis.lint.rules` for the catalog (RL001-RL008) and
+:mod:`repro.analysis.lint.engine` for the waiver syntax.
+"""
+
+from repro.analysis.lint.engine import (
+    DEFAULT_PROFILE_MAP,
+    META_RULE_ID,
+    PROFILES,
+    Finding,
+    Linter,
+    LintReport,
+    Profile,
+    ProjectRule,
+    Rule,
+    SourceFile,
+    Waiver,
+    profile_for_path,
+)
+from repro.analysis.lint.report import (
+    JSON_SCHEMA_ID,
+    parse_json,
+    render_json,
+    render_text,
+)
+from repro.analysis.lint.rules import default_rules
+
+__all__ = [
+    "DEFAULT_PROFILE_MAP",
+    "META_RULE_ID",
+    "PROFILES",
+    "JSON_SCHEMA_ID",
+    "Finding",
+    "Linter",
+    "LintReport",
+    "Profile",
+    "ProjectRule",
+    "Rule",
+    "SourceFile",
+    "Waiver",
+    "profile_for_path",
+    "parse_json",
+    "render_json",
+    "render_text",
+    "default_rules",
+]

@@ -1,0 +1,480 @@
+"""reprolint core: files, waivers, rules, profiles and the driver.
+
+The linter is deliberately self-contained (stdlib :mod:`ast` + :mod:`tokenize`
+only) so it can run in CI and in the tier-1 test suite with zero extra
+dependencies.  The moving parts:
+
+* :class:`SourceFile` — one parsed module: source text, AST, and the waiver
+  comments extracted from its token stream.
+* :class:`Rule` / :class:`ProjectRule` — a check over one file, or over the
+  whole scanned file set (cross-module symbol tables, e.g. the TLV type
+  registry check).
+* :class:`Profile` — a named rule subset; profiles are resolved per *path*
+  (strict for the forwarding plane and the simulator, relaxed hygiene-only
+  for cluster/benchmarks/tests) so one invocation can sweep a mixed tree.
+* :class:`Linter` — drives rules over files, applies waivers, and returns a
+  :class:`LintReport`.
+
+Waiver syntax
+-------------
+A finding is suppressed by an in-source comment naming the rule **and** a
+reason::
+
+    deadline = time.monotonic() + timeout_s  # lint: allow[RL002] wall-clock IPC timeout
+
+A waiver on its own line suppresses findings on the *next* line instead
+(for statements too long to share a line with the comment).  Each waiver
+suppresses exactly one line; ``allow[*]`` suppresses every rule on that
+line.  A waiver without a reason, or naming an unknown rule, is itself a
+finding (``RL000``) — waivers are part of the audited surface, not an
+escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+__all__ = [
+    "Finding",
+    "Waiver",
+    "SourceFile",
+    "Rule",
+    "ProjectRule",
+    "Profile",
+    "LintReport",
+    "Linter",
+    "dotted_name",
+    "norm_path",
+    "profile_for_path",
+    "PROFILES",
+    "DEFAULT_PROFILE_MAP",
+    "META_RULE_ID",
+]
+
+#: Rule id used for linter-level findings (syntax errors, malformed waivers).
+#: Deliberately not waivable: a broken waiver must not hide behind itself.
+META_RULE_ID = "RL000"
+
+
+@dataclass(slots=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    waived: bool = False
+    waiver_reason: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "waived": self.waived,
+            "waiver_reason": self.waiver_reason,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Finding":
+        return cls(
+            rule=raw["rule"],
+            path=raw["path"],
+            line=raw["line"],
+            col=raw["col"],
+            message=raw["message"],
+            waived=raw["waived"],
+            waiver_reason=raw["waiver_reason"],
+        )
+
+
+_WAIVER_RE = re.compile(r"#\s*lint:\s*allow\[([^\]]*)\]\s*(.*)$")
+
+
+@dataclass(slots=True)
+class Waiver:
+    """One ``# lint: allow[rule] reason`` comment."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str
+    #: True when the comment is alone on its line — it then covers line + 1.
+    standalone: bool
+
+    @property
+    def target_line(self) -> int:
+        return self.line + 1 if self.standalone else self.line
+
+    def covers(self, rule: str) -> bool:
+        return "*" in self.rules or rule in self.rules
+
+
+def norm_path(path: "str | Path") -> str:
+    """Posix-style path with a leading slash, for substring scope matching."""
+    text = str(path).replace("\\", "/")
+    return text if text.startswith("/") else "/" + text
+
+
+class SourceFile:
+    """A parsed module plus its waivers; the unit every rule operates on."""
+
+    __slots__ = ("path", "display", "source", "tree", "waivers", "parse_error")
+
+    def __init__(self, display: str, source: str) -> None:
+        self.display = display
+        self.path = norm_path(display)
+        self.source = source
+        self.parse_error: Optional[str] = None
+        try:
+            self.tree: Optional[ast.Module] = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            self.tree = None
+            self.parse_error = f"syntax error: {exc.msg} (line {exc.lineno})"
+        self.waivers: list[Waiver] = _scan_waivers(source)
+
+    @classmethod
+    def load(cls, path: "str | Path", display: Optional[str] = None) -> "SourceFile":
+        text = Path(path).read_text(encoding="utf-8")
+        return cls(display or str(path), text)
+
+    def waiver_for(self, rule: str, line: int) -> Optional[Waiver]:
+        for waiver in self.waivers:
+            if waiver.target_line == line and waiver.covers(rule):
+                return waiver
+        return None
+
+
+def _scan_waivers(source: str) -> list[Waiver]:
+    """Extract waiver comments from the token stream (never from strings)."""
+    waivers: list[Waiver] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _WAIVER_RE.search(token.string)
+            if match is None:
+                continue
+            rules = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            line = token.start[0]
+            prefix = token.line[: token.start[1]]
+            waivers.append(
+                Waiver(
+                    line=line,
+                    rules=rules,
+                    reason=match.group(2).strip(),
+                    standalone=not prefix.strip(),
+                )
+            )
+    except tokenize.TokenError:
+        pass  # the AST parse reports the syntax error; waivers stay best-effort
+    return waivers
+
+
+class Rule:
+    """Base class: one static check applied file by file.
+
+    Subclasses set ``id``/``title``/``rationale`` and implement
+    :meth:`check`.  ``scope_dirs``/``scope_files`` bound where the rule
+    applies (substring / suffix match on the normalised path);
+    ``exclude_files`` carves out sanctioned exceptions (e.g. the seeded RNG
+    module is exempt from the determinism rule *by design*, not by waiver).
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    #: Path substrings, e.g. "/repro/ndn/". Empty = every file.
+    scope_dirs: tuple[str, ...] = ()
+    #: Path suffixes, e.g. "/repro/sim/engine.py". Checked after scope_dirs.
+    scope_files: tuple[str, ...] = ()
+    #: Path suffixes exempted even when in scope.
+    exclude_files: tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        if any(path.endswith(suffix) for suffix in self.exclude_files):
+            return False
+        if not self.scope_dirs and not self.scope_files:
+            return True
+        if any(marker in path for marker in self.scope_dirs):
+            return True
+        return any(path.endswith(suffix) for suffix in self.scope_files)
+
+    def check(self, module: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, node: "ast.AST | int", message: str) -> Finding:
+        """A finding anchored at ``node``; the driver fills in the path."""
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        col = 0 if isinstance(node, int) else getattr(node, "col_offset", 0)
+        return Finding(rule=self.id, path="", line=line, col=col, message=message)
+
+
+class ProjectRule(Rule):
+    """A rule needing the whole scanned file set (cross-module tables)."""
+
+    def check(self, module: SourceFile) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, modules: Sequence[SourceFile]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Profile:
+    """A named subset of the rule catalog."""
+
+    name: str
+    rule_ids: frozenset[str]
+
+    def enables(self, rule: Rule) -> bool:
+        return rule.id in self.rule_ids
+
+
+_ALL_RULE_IDS = frozenset(
+    {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008"}
+)
+
+PROFILES: dict[str, Profile] = {
+    #: Full catalog: the forwarding plane and simulator live here, but the
+    #: invariant rules self-scope, so strict is safe for the whole of src/.
+    "strict": Profile("strict", _ALL_RULE_IDS),
+    #: Hygiene only: exception discipline and mutable defaults.  Meant for
+    #: cluster/benchmarks/tests, where wall clocks and ad-hoc exports are
+    #: legitimate.
+    "relaxed": Profile("relaxed", frozenset({"RL004", "RL005"})),
+}
+
+#: Ordered (path substring, profile name); first match wins, default strict.
+DEFAULT_PROFILE_MAP: tuple[tuple[str, str], ...] = (
+    ("/repro/cluster/", "relaxed"),
+    ("/benchmarks/", "relaxed"),
+    ("/tests/", "relaxed"),
+    ("/examples/", "relaxed"),
+)
+
+
+def profile_for_path(
+    path: str, profile_map: Sequence[tuple[str, str]] = DEFAULT_PROFILE_MAP
+) -> str:
+    normalised = norm_path(path)
+    for marker, name in profile_map:
+        if marker in normalised:
+            return name
+    return "strict"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    profiles_used: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def unwaived(self) -> list[Finding]:
+        return [finding for finding in self.findings if not finding.waived]
+
+    @property
+    def waived(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.waived]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unwaived
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+class Linter:
+    """Drives the rule catalog over a file set and applies waivers.
+
+    ``profile`` forces one profile for every file; the default resolves the
+    profile per path via ``profile_map`` (see :data:`DEFAULT_PROFILE_MAP`).
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        profile: Optional[str] = None,
+        profile_map: Sequence[tuple[str, str]] = DEFAULT_PROFILE_MAP,
+    ) -> None:
+        if rules is None:
+            from repro.analysis.lint.rules import default_rules
+
+            rules = default_rules()
+        self.rules = list(rules)
+        if profile is not None and profile not in PROFILES:
+            raise ValueError(
+                f"unknown profile {profile!r}; have {sorted(PROFILES)}"
+            )
+        self.forced_profile = profile
+        self.profile_map = tuple(profile_map)
+
+    # ------------------------------------------------------------ file intake
+
+    def collect_files(self, paths: Iterable["str | Path"]) -> list[Path]:
+        """Expand files/directories into a sorted, de-duplicated .py list."""
+        out: list[Path] = []
+        seen: set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                candidates = sorted(path.rglob("*.py"))
+            else:
+                candidates = [path]
+            for candidate in candidates:
+                parts = candidate.parts
+                if "__pycache__" in parts or any(
+                    part.startswith(".") and part not in (".", "..") for part in parts
+                ):
+                    continue
+                resolved = candidate.resolve()
+                if resolved not in seen:
+                    seen.add(resolved)
+                    out.append(candidate)
+        return out
+
+    # ------------------------------------------------------------ linting
+
+    def lint_paths(self, paths: Iterable["str | Path"]) -> LintReport:
+        modules = [SourceFile.load(path) for path in self.collect_files(paths)]
+        return self.lint_modules(modules)
+
+    def lint_source(self, source: str, display: str = "<string>") -> LintReport:
+        """Lint one in-memory snippet (the self-test entry point)."""
+        return self.lint_modules([SourceFile(display, source)])
+
+    def lint_modules(self, modules: Sequence[SourceFile]) -> LintReport:
+        report = LintReport(files_checked=len(modules))
+        raw: list[Finding] = []
+        profile_of: dict[str, Profile] = {}
+        for module in modules:
+            name = self.forced_profile or profile_for_path(
+                module.path, self.profile_map
+            )
+            profile = PROFILES[name]
+            profile_of[module.path] = profile
+            report.profiles_used[name] = report.profiles_used.get(name, 0) + 1
+            if module.parse_error is not None:
+                raw.append(
+                    Finding(
+                        rule=META_RULE_ID,
+                        path=module.display,
+                        line=1,
+                        col=0,
+                        message=module.parse_error,
+                    )
+                )
+                continue
+            for rule in self.rules:
+                if isinstance(rule, ProjectRule):
+                    continue
+                if profile.enables(rule) and rule.applies_to(module.path):
+                    for found in rule.check(module):
+                        if not found.path:
+                            found.path = module.display
+                        raw.append(found)
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                in_scope = [
+                    module
+                    for module in modules
+                    if module.tree is not None
+                    and profile_of[module.path].enables(rule)
+                    and rule.applies_to(module.path)
+                ]
+                if in_scope:
+                    raw.extend(rule.check_project(in_scope))
+        raw.extend(self._audit_waivers(modules))
+        by_path = {module.path: module for module in modules}
+        deduped: dict[tuple[str, str, int], Finding] = {}
+        for finding in raw:
+            deduped.setdefault((finding.rule, finding.path, finding.line), finding)
+        used_waivers: set[int] = set()
+        for finding in deduped.values():
+            module = by_path.get(norm_path(finding.path))
+            if module is not None and finding.rule != META_RULE_ID:
+                waiver = module.waiver_for(finding.rule, finding.line)
+                if waiver is not None and waiver.reason:
+                    finding.waived = True
+                    finding.waiver_reason = waiver.reason
+                    used_waivers.add(id(waiver))
+            report.findings.append(finding)
+        # A waiver that suppresses nothing is stale: the violation it covered
+        # was fixed (or never existed), so the comment now only misleads.
+        known = {rule.id for rule in self.rules}
+        for module in modules:
+            if module.parse_error is not None:
+                continue  # a broken parse finds nothing; don't pile on
+            for waiver in module.waivers:
+                if id(waiver) in used_waivers:
+                    continue
+                if not waiver.reason or (waiver.rules - known - {"*"}):
+                    continue  # already flagged by _audit_waivers
+                report.findings.append(
+                    Finding(
+                        rule=META_RULE_ID,
+                        path=module.display,
+                        line=waiver.line,
+                        col=0,
+                        message="unused waiver: no finding for "
+                        f"[{', '.join(sorted(waiver.rules))}] on its line; "
+                        "remove the stale comment",
+                    )
+                )
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return report
+
+    def _audit_waivers(self, modules: Sequence[SourceFile]) -> Iterator[Finding]:
+        """Malformed waivers are findings: no reason, or an unknown rule id."""
+        known = {rule.id for rule in self.rules}
+        for module in modules:
+            for waiver in module.waivers:
+                if not waiver.reason:
+                    yield Finding(
+                        rule=META_RULE_ID,
+                        path=module.display,
+                        line=waiver.line,
+                        col=0,
+                        message="waiver without a reason: state why the "
+                        "violation is acceptable",
+                    )
+                unknown = waiver.rules - known - {"*"}
+                if unknown:
+                    yield Finding(
+                        rule=META_RULE_ID,
+                        path=module.display,
+                        line=waiver.line,
+                        col=0,
+                        message=f"waiver names unknown rule(s): {sorted(unknown)}",
+                    )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -43,6 +43,7 @@ __all__ = [
     "SweepRun",
     "SweepError",
     "expand_grid",
+    "build_tasks",
     "run_sweep",
 ]
 

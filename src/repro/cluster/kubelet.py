@@ -14,6 +14,7 @@ from typing import Optional
 from repro.cluster.apiserver import ApiServer, EventType, WatchEvent
 from repro.cluster.node import Node, NodeStatus
 from repro.cluster.pod import Pod, PodPhase, WorkloadResult
+from repro.exceptions import ProcessInterrupt, SimulationError
 from repro.sim.engine import Environment
 
 __all__ = ["Kubelet"]
@@ -67,7 +68,7 @@ class Kubelet:
         for container in pod.spec.containers:
             try:
                 result = container.run_workload(pod)
-            except Exception as exc:  # noqa: BLE001 - workload errors fail the pod
+            except Exception as exc:  # lint: allow[RL004] tenant workloads raise arbitrary exceptions; the pod must fail, not the kubelet
                 failed_message = f"{container.name}: {exc}"
                 result = WorkloadResult(duration_s=0.0, error=str(exc))
             results.append(result)
@@ -84,7 +85,9 @@ class Kubelet:
                 return
         try:
             yield self.env.timeout(duration)
-        except BaseException:
+        except (ProcessInterrupt, GeneratorExit):
+            # Pod deleted (interrupt) or generator closed mid-run: the
+            # terminal phase was already set by _stop/_fail.
             return
         if pod.is_terminal:
             return
@@ -106,7 +109,7 @@ class Kubelet:
         if process is not None and getattr(process, "is_alive", False):
             try:
                 process.interrupt(reason)
-            except Exception:  # pragma: no cover - interrupting a just-dead process
+            except SimulationError:  # pragma: no cover - interrupting a just-dead process
                 pass
 
     def _fail(self, pod: Pod, message: str) -> None:

@@ -382,7 +382,7 @@ class LIDCClient:
             handle.cancelled = True
             outcome = self._failed_outcome(
                 handle, str(exc.cause) if exc.cause else "cancelled")
-        except Exception as exc:  # noqa: BLE001 - handle.done must always trigger
+        except Exception as exc:  # lint: allow[RL004] handle.done must always trigger; any session error becomes a FAILED outcome
             # Unexpected errors (corrupt status payloads, non-gateway
             # producers, ...) are materialised into a FAILED outcome so
             # waiters never hang on an event that cannot trigger.

@@ -30,6 +30,7 @@ __all__ = [
     "NearestPlacement",
     "LeastLoadedPlacement",
     "LearnedPlacement",
+    "place_or_raise",
     "request_quantity",
 ]
 

@@ -58,6 +58,7 @@ __all__ = [
     "ServiceRegistry",
     "BASE_SCHEMA",
     "make_service",
+    "default_service_definitions",
 ]
 
 

@@ -14,7 +14,7 @@ from typing import Optional, Sequence
 from repro.core.client import JobOutcome, LIDCClient
 from repro.core.spec import ComputeRequest
 
-__all__ = ["StepTiming", "WorkflowReport", "GenomicsWorkflow", "CampaignResult"]
+__all__ = ["StepTiming", "WorkflowReport", "GenomicsWorkflow", "CampaignResult", "decompose"]
 
 
 @dataclass(frozen=True)

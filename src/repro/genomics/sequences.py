@@ -17,6 +17,8 @@ __all__ = [
     "FastaRecord",
     "FastqRecord",
     "SequenceGenerator",
+    "write_fasta",
+    "write_fastq",
 ]
 
 NUCLEOTIDES = "ACGT"

@@ -27,9 +27,13 @@ from repro.sim.engine import Environment, Event
 __all__ = ["Consumer", "Producer", "PendingInterest"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingInterest:
-    """Book-keeping for one in-flight Interest expressed by a consumer."""
+    """Book-keeping for one in-flight Interest expressed by a consumer.
+
+    Slotted (lint rule RL006): a client driving many concurrent sessions
+    holds one of these per in-flight Interest.
+    """
 
     interest: Interest
     completion: Event

@@ -45,9 +45,14 @@ class CachePolicy(str, Enum):
     FIFO = "fifo"
 
 
-@dataclass
+@dataclass(slots=True)
 class CsEntry:
-    """One cached Data packet (object or wire view) plus bookkeeping."""
+    """One cached Data packet (object or wire view) plus bookkeeping.
+
+    Slotted (lint rule RL006): a populated store holds one of these per
+    cached Data, so the per-instance ``__dict__`` would dominate the
+    store's own memory at overlay scale.
+    """
 
     data: DataLike
     arrival_time: float

@@ -21,7 +21,7 @@ from repro.ndn.nametree import NameTree as _GenericNameTree, as_name
 __all__ = ["NextHop", "FibEntry", "NameTree", "Fib"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NextHop:
     """One next-hop: a face id plus a routing cost."""
 
@@ -29,9 +29,13 @@ class NextHop:
     cost: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class FibEntry:
-    """A FIB entry: a prefix and its next hops sorted by cost."""
+    """A FIB entry: a prefix and its next hops sorted by cost.
+
+    Slotted (lint rule RL006): a 10k-node overlay FIB holds an entry per
+    route and a NextHop per adjacency; both must stay cheap to hold.
+    """
 
     prefix: Name
     nexthops: list[NextHop] = field(default_factory=list)

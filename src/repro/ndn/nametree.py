@@ -23,7 +23,7 @@ from typing import Any, Callable, Iterator, Optional
 
 from repro.ndn.name import Component, Name
 
-__all__ = ["NameTree"]
+__all__ = ["NameTree", "as_name"]
 
 #: Sentinel distinguishing "no value stored" from a stored ``None``.
 _ABSENT = object()

@@ -6,7 +6,7 @@ to round-trip every field the forwarder and LIDC use, while staying compact.
 
 from __future__ import annotations
 
-import secrets
+import itertools
 from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
@@ -44,6 +44,20 @@ __all__ = [
 
 #: Default Interest lifetime (seconds); mirrors NDN's 4-second default.
 DEFAULT_INTEREST_LIFETIME = 4.0
+
+#: Nonce sequence for Interests constructed without an explicit nonce.
+#: Real NDN draws nonces from entropy; here they only feed PIT loop/duplicate
+#: detection, which needs *uniqueness within a run*, not unpredictability —
+#: and ambient entropy would make otherwise-identical simulation runs differ
+#: bit-for-bit in every trace and wire buffer (the determinism contract,
+#: statically enforced as lint rule RL002).  A process-wide counter gives
+#: every Interest a distinct, reproducible nonce; retransmissions construct
+#: a new Interest and therefore draw a fresh one.
+_NONCE_SEQUENCE = itertools.count(0x5EED0001)
+
+
+def _next_nonce() -> int:
+    return next(_NONCE_SEQUENCE) & 0xFFFFFFFF
 
 
 class ContentType:
@@ -125,7 +139,7 @@ class Interest:
     name: Name
     can_be_prefix: bool = False
     must_be_fresh: bool = False
-    nonce: int = field(default_factory=lambda: secrets.randbits(32))
+    nonce: int = field(default_factory=_next_nonce)
     lifetime: float = DEFAULT_INTEREST_LIFETIME
     hop_limit: int = 255
     application_parameters: bytes = b""

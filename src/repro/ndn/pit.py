@@ -22,10 +22,10 @@ from typing import Callable, Iterable, Optional
 from repro.ndn.name import Name
 from repro.ndn.packet import DataLike, InterestLike
 
-__all__ = ["PitEntry", "PendingInterestTable"]
+__all__ = ["InRecord", "OutRecord", "PitEntry", "PendingInterestTable"]
 
 
-@dataclass
+@dataclass(slots=True)
 class InRecord:
     """A downstream face that asked for the name."""
 
@@ -34,7 +34,7 @@ class InRecord:
     expiry: float
 
 
-@dataclass
+@dataclass(slots=True)
 class OutRecord:
     """An upstream face the Interest was forwarded to."""
 
@@ -43,9 +43,14 @@ class OutRecord:
     expiry: float
 
 
-@dataclass
+@dataclass(slots=True)
 class PitEntry:
-    """All state for one pending name."""
+    """All state for one pending name.
+
+    Entry/record classes are slotted (lint rule RL006): every in-flight
+    Interest allocates one entry plus an in/out record per face, so their
+    per-instance ``__dict__`` would be the table's dominant cost.
+    """
 
     name: Name
     can_be_prefix: bool

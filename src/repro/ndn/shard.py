@@ -1080,11 +1080,11 @@ class ShardWorkerPool:
 
     def collect(self, count: int, timeout_s: float = 30.0) -> list[WirePacket]:
         """Gather ``count`` reply packets from the worker pipes."""
-        deadline = time.monotonic() + timeout_s
+        deadline = time.monotonic() + timeout_s  # lint: allow[RL002] wall-clock IPC timeout: fork workers run outside simulated time
         results: list[WirePacket] = []
         pending = {conn: shard_id for shard_id, conn in enumerate(self._conns)}
         while len(results) < count:
-            remaining = deadline - time.monotonic()
+            remaining = deadline - time.monotonic()  # lint: allow[RL002] wall-clock IPC timeout: fork workers run outside simulated time
             if remaining <= 0:
                 raise NDNError(
                     f"shard pool timed out with {len(results)}/{count} replies"

@@ -23,6 +23,7 @@ __all__ = [
     "Event",
     "Timeout",
     "Process",
+    "ConditionEvent",
     "AllOf",
     "AnyOf",
     "Queue",
@@ -144,7 +145,7 @@ class Timeout(Event):
         env.schedule(self, priority=PRIORITY_NORMAL, delay=delay)
 
 
-class Initialize(Event):
+class _Initialize(Event):
     """Internal event used to start a process at creation time."""
 
     __slots__ = ()
@@ -158,7 +159,7 @@ class Initialize(Event):
         env.schedule(self, priority=PRIORITY_URGENT)
 
 
-class Interruption(Event):
+class _Interruption(Event):
     """Internal event used to deliver an interrupt to a process."""
 
     __slots__ = ("process",)
@@ -213,7 +214,7 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self._value: Any = _PENDING_SENTINEL
-        Initialize(env, self)
+        _Initialize(env, self)
 
     @property
     def is_alive(self) -> bool:
@@ -231,7 +232,7 @@ class Process(Event):
             raise SimulationError(f"cannot interrupt dead process {self!r}")
         if self.env.active_process is self:
             raise SimulationError("a process cannot interrupt itself")
-        Interruption(self, cause)
+        _Interruption(self, cause)
 
     # -- engine internals ----------------------------------------------------
 
@@ -252,7 +253,7 @@ class Process(Event):
                 self._target = None
                 env.schedule(self, priority=PRIORITY_NORMAL)
                 break
-            except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            except BaseException as exc:  # lint: allow[RL004] engine contract: any process failure propagates into waiters as the event value
                 self._value = exc
                 self._ok = False
                 self._triggered = True

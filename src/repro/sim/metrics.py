@@ -12,7 +12,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-__all__ = ["Counter", "Gauge", "Histogram", "Timer", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "Timer", "MetricsRegistry", "merge_histograms"]
 
 
 @dataclass

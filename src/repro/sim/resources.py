@@ -19,7 +19,18 @@ from typing import Any, Callable, Optional
 from repro.exceptions import SimulationError
 from repro.sim.engine import Environment, Event
 
-__all__ = ["Resource", "Release", "Container", "Store", "PriorityStore"]
+__all__ = [
+    "Resource",
+    "Request",
+    "Release",
+    "Container",
+    "ContainerPut",
+    "ContainerGet",
+    "Store",
+    "StorePut",
+    "StoreGet",
+    "PriorityStore",
+]
 
 
 class Request(Event):
