@@ -7,10 +7,20 @@ benches and soak tests, which only cover the code paths those suites happen
 to exercise.  reprolint enforces the same contracts *statically*, on every
 line, at CI time.
 
+The line-local rules (RL001-RL008) check each module in isolation; the
+interprocedural layer (RL009-RL012) builds a project symbol table
+(:mod:`~repro.analysis.lint.symbols`), a conservative call graph
+(:mod:`~repro.analysis.lint.callgraph`) and a per-function effect
+fixpoint (:mod:`~repro.analysis.lint.effects`) to extend the same
+contracts across module boundaries, with a witness chain on every
+finding.
+
 Usage::
 
     python -m repro.analysis.lint src/            # strict/relaxed per path
     python -m repro.analysis.lint --list-rules    # the rule catalog
+    python -m repro.analysis.lint src/ --changed-only   # pre-commit mode
+    python -m repro.analysis.lint src/ --baseline main.json  # PR-gate mode
 
 Programmatic::
 
@@ -18,10 +28,11 @@ Programmatic::
     report = Linter().lint_paths(["src"])
     assert report.ok, report.unwaived
 
-See :mod:`repro.analysis.lint.rules` for the catalog (RL001-RL008) and
+See :mod:`repro.analysis.lint.rules` for the catalog and
 :mod:`repro.analysis.lint.engine` for the waiver syntax.
 """
 
+from repro.analysis.lint.cache import SummaryCache
 from repro.analysis.lint.engine import (
     DEFAULT_PROFILE_MAP,
     META_RULE_ID,
@@ -29,15 +40,18 @@ from repro.analysis.lint.engine import (
     Finding,
     Linter,
     LintReport,
+    ModuleRecord,
     Profile,
     ProjectRule,
     Rule,
     SourceFile,
+    SummaryRule,
     Waiver,
     profile_for_path,
 )
 from repro.analysis.lint.report import (
     JSON_SCHEMA_ID,
+    diff_reports,
     parse_json,
     render_json,
     render_text,
@@ -52,12 +66,16 @@ __all__ = [
     "Finding",
     "Linter",
     "LintReport",
+    "ModuleRecord",
     "Profile",
     "ProjectRule",
     "Rule",
     "SourceFile",
+    "SummaryCache",
+    "SummaryRule",
     "Waiver",
     "profile_for_path",
+    "diff_reports",
     "parse_json",
     "render_json",
     "render_text",

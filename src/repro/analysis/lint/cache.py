@@ -1,0 +1,110 @@
+"""Content-hash-keyed cache of per-module lint records.
+
+Pre-commit latency is the budget the interprocedural layer must fit in,
+and the expensive part of a run is per-module: parsing, the line-local
+rule pass, and summary extraction.  All of it depends only on the file's
+bytes and the rule configuration, so the cache keys each record on
+``sha256(source)`` plus a configuration signature (rule ids, forced
+profile, profile map, engine version).  Warm hits skip :mod:`ast`
+entirely; the project-level phase (call graph, effect fixpoint,
+cross-module rules) always runs fresh, because its output depends on the
+whole file set.
+
+The cache is one JSON document, rewritten atomically (temp file +
+``os.replace``).  A schema or signature mismatch silently discards the
+file — a stale cache must never change lint results, only their cost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["CACHE_SCHEMA_ID", "SummaryCache", "config_signature"]
+
+CACHE_SCHEMA_ID = "reprolint-cache/1"
+
+
+def config_signature(
+    rule_ids: list[str],
+    engine_version: str,
+    forced_profile: Optional[str],
+    profile_map: tuple,
+) -> str:
+    """Hash of everything (besides file content) a cached record depends on."""
+    payload = json.dumps(
+        {
+            "engine": engine_version,
+            "rules": sorted(rule_ids),
+            "profile": forced_profile,
+            "map": list(profile_map),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class SummaryCache:
+    """Per-file record store keyed on content digest."""
+
+    def __init__(self, path: "str | Path", signature: str) -> None:
+        self.path = Path(path)
+        self.signature = signature
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            document = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(document, dict)
+            or document.get("schema") != CACHE_SCHEMA_ID
+            or document.get("signature") != self.signature
+        ):
+            return
+        entries = document.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    @staticmethod
+    def digest(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    def get(self, key: str, digest: str) -> Optional[dict]:
+        entry = self._entries.get(key)
+        if entry is not None and entry.get("digest") == digest:
+            self.hits += 1
+            return entry["record"]
+        self.misses += 1
+        return None
+
+    def put(self, key: str, digest: str, record: dict) -> None:
+        self._entries[key] = {"digest": digest, "record": record}
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        document = {
+            "schema": CACHE_SCHEMA_ID,
+            "signature": self.signature,
+            "files": self._entries,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(json.dumps(document), encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError:
+            try:  # best effort: a cache that cannot write is just cold
+                tmp.unlink()
+            except OSError:
+                pass
+        self._dirty = False

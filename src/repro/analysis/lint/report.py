@@ -1,4 +1,4 @@
-"""reprolint reporters: human text and machine JSON.
+"""reprolint reporters: human text, machine JSON, and baseline diffing.
 
 The JSON document is the CI artifact format; its schema is versioned and
 round-tripped by the self-test suite:
@@ -6,45 +6,80 @@ round-tripped by the self-test suite:
 .. code-block:: json
 
     {
-      "schema": "reprolint-report/1",
+      "schema": "reprolint-report/2",
       "profiles": {"strict": 40, "relaxed": 12},
       "summary": {"files": 52, "findings": 9, "waived": 9,
-                  "unwaived": 0, "ok": true, "by_rule": {"RL002": 2}},
+                  "unwaived": 0, "advisory": 1, "ok": true,
+                  "by_rule": {"RL002": 2}, "waived_by_rule": {"RL004": 3}},
       "findings": [{"rule": "RL002", "path": "...", "line": 10, "col": 4,
-                    "message": "...", "waived": true,
-                    "waiver_reason": "..."}]
+                    "message": "...", "severity": "error", "waived": true,
+                    "waiver_reason": "...",
+                    "chain": [{"function": "...", "path": "...", "line": 1}]}]
     }
+
+Schema ``/2`` adds per-finding ``severity`` (``error`` | ``advisory``),
+the optional witness ``chain`` on interprocedural findings, and the
+``advisory`` / ``waived_by_rule`` summary keys.  ``/1`` documents (from
+a pre-upgrade baseline) still parse: the new fields default.
+
+:func:`diff_reports` is the PR-gate primitive: given the current report
+and a baseline (typically main), it splits unwaived error findings into
+*new* and *pre-existing* by matching on ``(rule, path, message)`` as a
+multiset — line numbers are deliberately excluded so unrelated edits
+that shift a finding a few lines do not resurrect it as "new".
 """
 
 from __future__ import annotations
 
 import json
+from collections import Counter
 
 from repro.analysis.lint.engine import Finding, LintReport
 
-__all__ = ["render_text", "render_json", "parse_json", "JSON_SCHEMA_ID"]
+__all__ = [
+    "render_text",
+    "render_json",
+    "parse_json",
+    "diff_reports",
+    "JSON_SCHEMA_ID",
+]
 
-JSON_SCHEMA_ID = "reprolint-report/1"
+JSON_SCHEMA_ID = "reprolint-report/2"
+
+#: Schemas :func:`parse_json` accepts (older baselines must keep parsing).
+_ACCEPTED_SCHEMAS = ("reprolint-report/1", JSON_SCHEMA_ID)
 
 
-def render_text(report: LintReport, show_waived: bool = False) -> str:
+def render_text(
+    report: LintReport,
+    show_waived: bool = False,
+    show_advisory: bool = False,
+) -> str:
     """One ``path:line:col RLxxx message`` row per finding, plus a summary."""
     lines: list[str] = []
     for finding in report.findings:
         if finding.waived and not show_waived:
             continue
+        if finding.severity == "advisory" and not show_advisory:
+            continue
         suffix = f" (waived: {finding.waiver_reason})" if finding.waived else ""
+        if finding.severity == "advisory":
+            suffix += " [advisory]"
         lines.append(
             f"{finding.path}:{finding.line}:{finding.col + 1} "
             f"{finding.rule} {finding.message}{suffix}"
         )
     unwaived = len(report.unwaived)
     waived = len(report.waived)
-    lines.append(
+    advisories = len(report.advisories)
+    summary = (
         f"reprolint: {report.files_checked} files, "
         f"{unwaived} finding{'s' if unwaived != 1 else ''}"
         f" ({waived} waived)"
     )
+    if advisories:
+        summary += f", {advisories} advisory"
+    lines.append(summary)
     return "\n".join(lines)
 
 
@@ -58,8 +93,10 @@ def render_json(report: LintReport) -> str:
             "findings": len(report.findings),
             "waived": len(report.waived),
             "unwaived": len(report.unwaived),
+            "advisory": len(report.advisories),
             "ok": report.ok,
             "by_rule": report.by_rule(),
+            "waived_by_rule": report.waived_by_rule(),
         },
         "findings": [finding.as_dict() for finding in report.findings],
     }
@@ -70,7 +107,7 @@ def parse_json(text: str) -> LintReport:
     """Rebuild a :class:`LintReport` from :func:`render_json` output."""
     document = json.loads(text)
     schema = document.get("schema")
-    if schema != JSON_SCHEMA_ID:
+    if schema not in _ACCEPTED_SCHEMAS:
         raise ValueError(f"unsupported report schema {schema!r}")
     report = LintReport(
         findings=[Finding.from_dict(raw) for raw in document["findings"]],
@@ -78,3 +115,29 @@ def parse_json(text: str) -> LintReport:
         profiles_used=dict(document.get("profiles", {})),
     )
     return report
+
+
+def _diff_key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.rule, finding.path, finding.message)
+
+
+def diff_reports(
+    current: LintReport, baseline: LintReport
+) -> tuple[list[Finding], list[Finding]]:
+    """Split current unwaived error findings into (new, pre-existing).
+
+    Matching is a multiset over ``(rule, path, message)``: each baseline
+    occurrence absorbs at most one current occurrence, so a second copy
+    of a known violation still counts as new.
+    """
+    budget = Counter(_diff_key(f) for f in baseline.unwaived)
+    new: list[Finding] = []
+    preexisting: list[Finding] = []
+    for finding in current.unwaived:
+        key = _diff_key(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+            preexisting.append(finding)
+        else:
+            new.append(finding)
+    return new, preexisting

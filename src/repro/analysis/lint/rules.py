@@ -25,11 +25,17 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Optional, Sequence
 
+from repro.analysis.lint.effects import (
+    DETERMINISM_DIRS,
+    DETERMINISM_EXEMPT_FILES,
+    FORWARDING_PLANE_FILES,
+    HOT_LOOP_FILES,
+)
 from repro.analysis.lint.engine import (
     Finding,
-    ProjectRule,
     Rule,
     SourceFile,
+    SummaryRule,
     dotted_name,
 )
 
@@ -48,16 +54,8 @@ __all__ = [
 #: Modules that make up the forwarding plane: everything a transiting
 #: packet crosses.  Endpoint modules (client.py: Consumer/Producer) and the
 #: codec itself (packet.py defines decode) are intentionally outside.
-_FORWARDING_PLANE = (
-    "/repro/ndn/forwarder.py",
-    "/repro/ndn/face.py",
-    "/repro/ndn/shard.py",
-    "/repro/ndn/strategy.py",
-    "/repro/ndn/cs.py",
-    "/repro/ndn/pit.py",
-    "/repro/ndn/fib.py",
-    "/repro/ndn/nametree.py",
-)
+#: Shared with the effect layer so RL001 and RL011 police one boundary.
+_FORWARDING_PLANE = FORWARDING_PLANE_FILES
 
 
 class ZeroCopyRule(Rule):
@@ -149,8 +147,8 @@ class DeterminismRule(Rule):
     id = "RL002"
     title = "determinism: engine clocks and seeded RNG only"
     rationale = "sim runs must be bit-reproducible across hosts and seeds"
-    scope_dirs = ("/repro/sim/", "/repro/ndn/")
-    exclude_files = ("/repro/sim/rng.py",)
+    scope_dirs = DETERMINISM_DIRS
+    exclude_files = DETERMINISM_EXEMPT_FILES
 
     def check(self, module: SourceFile) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
@@ -213,16 +211,7 @@ class NoBlockingRule(Rule):
     id = "RL003"
     title = "no blocking calls in hot loops"
     rationale = "one blocked dispatcher stalls every simulated process"
-    scope_files = (
-        "/repro/sim/engine.py",
-        "/repro/ndn/forwarder.py",
-        "/repro/ndn/strategy.py",
-        "/repro/ndn/face.py",
-        "/repro/ndn/nametree.py",
-        "/repro/ndn/cs.py",
-        "/repro/ndn/pit.py",
-        "/repro/ndn/fib.py",
-    )
+    scope_files = HOT_LOOP_FILES
 
     _BLOCKING_MODULES = ("socket", "subprocess")
 
@@ -440,13 +429,14 @@ class SlotsRule(Rule):
         return False
 
 
-class TlvRegistryRule(ProjectRule):
+class TlvRegistryRule(SummaryRule):
     """RL007: TLV type numbers live in one registry, each number once.
 
-    Builds a symbol table from the ``TlvTypes`` class in
-    ``repro/ndn/tlv.py`` and checks (a) no two constants share a type
-    number — a duplicate silently corrupts every span scan that matches the
-    first occurrence of a type — and (b) every ``TlvTypes.X`` reference
+    Reads the ``TlvTypes`` constants and ``TlvTypes.X`` reference lists
+    from the module summaries (extracted once per parse, cached with the
+    file) and checks (a) no two constants share a type number — a
+    duplicate silently corrupts every span scan that matches the first
+    occurrence of a type — and (b) every ``TlvTypes.X`` reference
     anywhere in ``repro/ndn`` resolves to a defined constant.
     """
 
@@ -458,17 +448,23 @@ class TlvRegistryRule(ProjectRule):
     _REGISTRY_FILE = "/repro/ndn/tlv.py"
     _REGISTRY_CLASS = "TlvTypes"
 
-    def check_project(self, modules: Sequence[SourceFile]) -> Iterator[Finding]:
-        registry_module = next(
-            (m for m in modules if m.path.endswith(self._REGISTRY_FILE)), None
+    def check_summaries(self, records, index) -> Iterator[Finding]:
+        registry = next(
+            (
+                r
+                for r in records
+                if r.summary is not None
+                and r.path.endswith(self._REGISTRY_FILE)
+            ),
+            None,
         )
-        if registry_module is None:
+        if registry is None:
             return  # partial scan without the registry: nothing to check against
-        constants = self._registry_constants(registry_module)
+        constants = registry.summary.tlv_registry
         if constants is None:
             yield Finding(
                 rule=self.id,
-                path=registry_module.display,
+                path=registry.display,
                 line=1,
                 col=0,
                 message=f"registry class {self._REGISTRY_CLASS} not found in "
@@ -480,7 +476,7 @@ class TlvRegistryRule(ProjectRule):
             if value in by_value:
                 yield Finding(
                     rule=self.id,
-                    path=registry_module.display,
+                    path=registry.display,
                     line=line,
                     col=0,
                     message=f"duplicate TLV type number {value:#x}: "
@@ -488,41 +484,19 @@ class TlvRegistryRule(ProjectRule):
                 )
             else:
                 by_value[value] = name
-        for module in modules:
-            for node in ast.walk(module.tree):
-                if (
-                    isinstance(node, ast.Attribute)
-                    and isinstance(node.value, ast.Name)
-                    and node.value.id == self._REGISTRY_CLASS
-                    and node.attr not in constants
-                ):
+        for record in records:
+            if record.summary is None:
+                continue
+            for attr, line, col in record.summary.tlv_refs:
+                if attr not in constants:
                     yield Finding(
                         rule=self.id,
-                        path=module.display,
-                        line=node.lineno,
-                        col=node.col_offset,
-                        message=f"TlvTypes.{node.attr} is not defined in the "
+                        path=record.display,
+                        line=line,
+                        col=col,
+                        message=f"TlvTypes.{attr} is not defined in the "
                         "TLV registry",
                     )
-
-    def _registry_constants(
-        self, module: SourceFile
-    ) -> Optional[dict[str, tuple[int, int]]]:
-        for node in module.tree.body:
-            if isinstance(node, ast.ClassDef) and node.name == self._REGISTRY_CLASS:
-                constants: dict[str, tuple[int, int]] = {}
-                for stmt in node.body:
-                    if isinstance(stmt, ast.Assign) and isinstance(
-                        stmt.value, ast.Constant
-                    ) and isinstance(stmt.value.value, int):
-                        for target in stmt.targets:
-                            if isinstance(target, ast.Name):
-                                constants[target.id] = (
-                                    stmt.value.value,
-                                    stmt.lineno,
-                                )
-                return constants
-        return None
 
 
 class ExportDriftRule(Rule):
@@ -636,6 +610,8 @@ class ExportDriftRule(Rule):
 
 def default_rules() -> list[Rule]:
     """The full catalog, in rule-id order."""
+    from repro.analysis.lint.interproc import interprocedural_rules
+
     return [
         ZeroCopyRule(),
         DeterminismRule(),
@@ -645,4 +621,5 @@ def default_rules() -> list[Rule]:
         SlotsRule(),
         TlvRegistryRule(),
         ExportDriftRule(),
+        *interprocedural_rules(),
     ]

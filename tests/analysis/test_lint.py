@@ -219,6 +219,84 @@ def test_syntax_error_is_a_finding():
     assert [f.rule for f in report.unwaived] == [META_RULE_ID]
 
 
+def test_waiver_between_decorator_and_def():
+    # Comments between a decorator and its def are legal Python; a
+    # standalone waiver there covers the def line, where RL005 anchors
+    # the mutable-default finding.
+    source = (
+        "def wrap(f):\n"
+        "    return f\n"
+        "@wrap\n"
+        "# lint: allow[RL005] decorated fixture, shared default documented\n"
+        "def a(x=[]):\n"
+        "    return x\n"
+    )
+    report = lint_snippet(source, display="src/repro/core/mod.py")
+    assert report.ok, [f.as_dict() for f in report.unwaived]
+    assert len(report.waived) == 1 and report.waived[0].line == 5
+
+
+def test_waiver_above_decorator_does_not_reach_the_def():
+    # A standalone waiver covers exactly the next line: placed above the
+    # decorator it targets the decorator line, not the def, so the
+    # finding survives and the waiver is reported stale.
+    source = (
+        "def wrap(f):\n"
+        "    return f\n"
+        "# lint: allow[RL005] misplaced: targets the decorator line\n"
+        "@wrap\n"
+        "def a(x=[]):\n"
+        "    return x\n"
+    )
+    report = lint_snippet(source, display="src/repro/core/mod.py")
+    rules_seen = {f.rule for f in report.unwaived}
+    assert "RL005" in rules_seen
+    assert META_RULE_ID in rules_seen  # the unused waiver is flagged
+
+
+def test_waiver_on_multiline_statement_first_line():
+    # A statement spanning several lines anchors its finding at the first
+    # line; the waiver belongs there, not on the closing paren.
+    source = (
+        "import time\n"
+        "def span():\n"
+        "    return max(  # lint: allow[RL002] diagnostics-only timestamp\n"
+        "        time.time(),\n"
+        "        0.0,\n"
+        "    )\n"
+    )
+    report = lint_snippet(source, display="src/repro/sim/mod.py")
+    rl002 = [f for f in report.findings if f.rule == "RL002"]
+    assert rl002, [f.as_dict() for f in report.findings]
+    # The attribute node sits on the continuation line: the waiver must
+    # be inline there to bind.
+    inline = source.replace(
+        "max(  # lint: allow[RL002] diagnostics-only timestamp", "max("
+    ).replace(
+        "time.time(),",
+        "time.time(),  # lint: allow[RL002] diagnostics-only timestamp",
+    )
+    report = lint_snippet(inline, display="src/repro/sim/mod.py")
+    rl002 = [f for f in report.findings if f.rule == "RL002"]
+    assert rl002 and all(f.waived for f in rl002), [
+        f.as_dict() for f in report.findings
+    ]
+
+
+def test_waiver_inside_nested_function():
+    source = (
+        "import time\n"
+        "def outer():\n"
+        "    def inner():\n"
+        "        return time.time()  # lint: allow[RL002] nested diag probe\n"
+        "    return inner\n"
+    )
+    report = lint_snippet(source, display="src/repro/sim/mod.py")
+    assert report.ok, [f.as_dict() for f in report.unwaived]
+    waived = [f for f in report.waived if f.rule == "RL002"]
+    assert waived and waived[0].line == 4
+
+
 # --------------------------------------------------------------------------
 # Profiles
 # --------------------------------------------------------------------------
@@ -275,7 +353,7 @@ def test_json_report_schema_round_trip():
     )
     report = lint_snippet(source, display="src/repro/core/mod.py")
     payload = json.loads(render_json(report))
-    assert payload["schema"] == "reprolint-report/1"
+    assert payload["schema"] == "reprolint-report/2"
     assert payload["summary"]["files"] == 1
     assert payload["summary"]["unwaived"] == 1
     assert payload["summary"]["waived"] == 1
@@ -320,7 +398,7 @@ def test_cli_json_output(tmp_path, capsys):
     code = lint_main([str(target), "--format", "json", "--output", str(out_file)])
     assert code == 1
     payload = json.loads(out_file.read_text())
-    assert payload["schema"] == "reprolint-report/1"
+    assert payload["schema"] == "reprolint-report/2"
     assert payload["findings"][0]["rule"] == "RL005"
 
 
