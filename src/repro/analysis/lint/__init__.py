@@ -51,9 +51,11 @@ from repro.analysis.lint.engine import (
 )
 from repro.analysis.lint.report import (
     JSON_SCHEMA_ID,
+    SARIF_SCHEMA_URI,
     diff_reports,
     parse_json,
     render_json,
+    render_sarif,
     render_text,
 )
 from repro.analysis.lint.rules import default_rules
@@ -63,6 +65,7 @@ __all__ = [
     "META_RULE_ID",
     "PROFILES",
     "JSON_SCHEMA_ID",
+    "SARIF_SCHEMA_URI",
     "Finding",
     "Linter",
     "LintReport",
@@ -78,6 +81,7 @@ __all__ = [
     "diff_reports",
     "parse_json",
     "render_json",
+    "render_sarif",
     "render_text",
     "default_rules",
 ]

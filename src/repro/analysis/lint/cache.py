@@ -90,7 +90,25 @@ class SummaryCache:
         self._entries[key] = {"digest": digest, "record": record}
         self._dirty = True
 
+    def prune(self) -> int:
+        """Drop entries whose file is gone from disk; returns the count.
+
+        Without this the cache grows monotonically across renames and
+        deletions — every path that ever existed keeps its record
+        forever.  Runs automatically from :meth:`save`.
+        """
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if not Path((entry.get("record") or {}).get("display", "")).is_file()
+        ]
+        for key in stale:
+            del self._entries[key]
+            self._dirty = True
+        return len(stale)
+
     def save(self) -> None:
+        self.prune()
         if not self._dirty:
             return
         document = {

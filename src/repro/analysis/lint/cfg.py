@@ -1,0 +1,460 @@
+"""Per-function control-flow graphs built from stdlib ``ast``.
+
+The CFG is statement-granular: each basic block holds a run of simple
+statements; compound statements (``if``/loops/``try``/``with``) contribute
+header blocks and edges but their bodies live in child blocks.  The builder
+handles ``break``/``continue``/``return``/``raise`` by unwinding through
+enclosing ``finally`` bodies — finally bodies are *duplicated* per exit
+continuation, which keeps path queries exact at the cost of a little graph
+size (fine at function scale).
+
+Two distinct sink blocks exist: ``cfg.exit`` (normal fall-off-the-end or
+``return``) and ``cfg.raise_exit`` (uncaught exception).  Dataflow rules
+that only care about non-exceptional paths (e.g. resource-leak detection)
+look at paths to ``cfg.exit`` alone, which keeps "every statement might
+raise" noise out of the analysis.
+
+Boolean short-circuit in ``if``/``while`` tests is decomposed into chained
+condition blocks so flow facts can distinguish ``a and b`` evaluating ``b``
+from skipping it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Block", "CFG", "build_cfg", "edge_set"]
+
+
+class Block:
+    """A basic block: a label, a statement list, and edge sets."""
+
+    __slots__ = ("id", "label", "stmts", "succ", "pred")
+
+    def __init__(self, block_id: int, label: str) -> None:
+        self.id = block_id
+        self.label = label
+        self.stmts: List[ast.stmt] = []
+        self.succ: Set[int] = set()
+        self.pred: Set[int] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Block({self.id}, {self.label!r}, succ={sorted(self.succ)})"
+
+
+class CFG:
+    """Control-flow graph for one function (or lambda) body."""
+
+    __slots__ = ("name", "blocks", "entry", "exit", "raise_exit")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.blocks: Dict[int, Block] = {}
+        self.entry = self._new_block("entry")
+        self.exit = self._new_block("exit")
+        self.raise_exit = self._new_block("raise_exit")
+
+    def _new_block(self, label: str) -> Block:
+        block = Block(len(self.blocks), label)
+        self.blocks[block.id] = block
+        return block
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.blocks[src].succ.add(dst)
+        self.blocks[dst].pred.add(src)
+
+    def block(self, block_id: int) -> Block:
+        return self.blocks[block_id]
+
+    def labelled(self, label: str) -> List[Block]:
+        return [b for b in self.blocks.values() if b.label == label]
+
+    def reachable_from_entry(self) -> Set[int]:
+        seen: Set[int] = set()
+        stack = [self.entry.id]
+        while stack:
+            bid = stack.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            stack.extend(self.blocks[bid].succ)
+        return seen
+
+
+def edge_set(cfg: CFG, by_label: bool = True) -> Set[Tuple[str, str]]:
+    """Edges as (label, label) pairs for exact assertions in tests.
+
+    Duplicate labels get ``#n`` suffixes in block-id order so tests can
+    still pin the full edge set when a label repeats (e.g. duplicated
+    finally bodies).
+    """
+    if not by_label:
+        return {
+            (str(b.id), str(s))
+            for b in cfg.blocks.values()
+            for s in b.succ
+        }
+    counts: Dict[str, int] = {}
+    names: Dict[int, str] = {}
+    for bid in sorted(cfg.blocks):
+        label = cfg.blocks[bid].label
+        seen = counts.get(label, 0)
+        names[bid] = label if seen == 0 else f"{label}#{seen}"
+        counts[label] = seen + 1
+    return {
+        (names[b.id], names[s])
+        for b in cfg.blocks.values()
+        for s in b.succ
+    }
+
+
+class _Frame:
+    """One entry in the enclosing-construct stack used for abrupt exits."""
+
+    __slots__ = ("kind", "continue_target", "break_target", "finally_body", "handler_heads")
+
+    def __init__(
+        self,
+        kind: str,
+        continue_target: Optional[int] = None,
+        break_target: Optional[int] = None,
+        finally_body: Optional[Sequence[ast.stmt]] = None,
+        handler_heads: Optional[List[int]] = None,
+    ) -> None:
+        self.kind = kind  # "loop" | "finally" | "except"
+        self.continue_target = continue_target
+        self.break_target = break_target
+        self.finally_body = finally_body
+        self.handler_heads = handler_heads or []
+
+
+class _Builder:
+    def __init__(self, name: str) -> None:
+        self.cfg = CFG(name)
+        self.frames: List[_Frame] = []
+
+    # -- frame helpers -------------------------------------------------
+
+    def _unwind(self, start: int, target: int, through: List[_Frame]) -> None:
+        """Route ``start`` → ``target`` instantiating finally bodies on the way."""
+        current = start
+        for frame in through:
+            if frame.kind != "finally" or not frame.finally_body:
+                continue
+            head = self.cfg._new_block("finally")
+            self.cfg.add_edge(current, head.id)
+            current = self._emit_body(frame.finally_body, head.id)
+            if current is None:
+                return  # finally body itself diverts (break/return/raise)
+        if current is not None:
+            self.cfg.add_edge(current, target)
+
+    def _abrupt(self, current: int, kind: str) -> None:
+        """Handle break/continue/return from block ``current``."""
+        crossed: List[_Frame] = []
+        for frame in reversed(self.frames):
+            crossed.append(frame)
+            if kind in ("break", "continue") and frame.kind == "loop":
+                target = frame.break_target if kind == "break" else frame.continue_target
+                assert target is not None
+                self._unwind(current, target, crossed[:-1])
+                return
+        if kind == "return":
+            self._unwind(current, self.cfg.exit.id, crossed)
+        # break/continue outside a loop: SyntaxError in real code; ignore.
+
+    def _raise_targets(self) -> Tuple[List[int], List[_Frame]]:
+        """Handler heads for a raise here, plus the frames crossed to reach them."""
+        crossed: List[_Frame] = []
+        for frame in reversed(self.frames):
+            if frame.kind == "except" and frame.handler_heads:
+                return frame.handler_heads, crossed
+            crossed.append(frame)
+        return [], crossed
+
+    def _route_raise(self, current: int) -> None:
+        heads, crossed = self._raise_targets()
+        if heads:
+            for head in heads:
+                self.cfg.add_edge(current, head)
+        else:
+            self._unwind(current, self.cfg.raise_exit.id, crossed)
+
+    # -- statement emission --------------------------------------------
+
+    def _emit_body(self, body: Sequence[ast.stmt], entry_block: int) -> Optional[int]:
+        """Emit ``body`` starting in ``entry_block``; return the live exit block id
+        (None if all paths divert)."""
+        current: Optional[int] = entry_block
+        for stmt in body:
+            if current is None:
+                break  # unreachable trailing statements
+            current = self._emit_stmt(stmt, current)
+        return current
+
+    def _emit_stmt(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        if isinstance(stmt, (ast.If,)):
+            return self._emit_if(stmt, current)
+        if isinstance(stmt, (ast.While,)):
+            return self._emit_while(stmt, current)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._emit_for(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._emit_try(stmt, current)
+        if hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar):  # pragma: no cover
+            return self._emit_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._emit_with(stmt, current)
+        if isinstance(stmt, ast.Break):
+            self.cfg.block(current).stmts.append(stmt)
+            self._abrupt(current, "break")
+            return None
+        if isinstance(stmt, ast.Continue):
+            self.cfg.block(current).stmts.append(stmt)
+            self._abrupt(current, "continue")
+            return None
+        if isinstance(stmt, ast.Return):
+            self.cfg.block(current).stmts.append(stmt)
+            self._abrupt(current, "return")
+            return None
+        if isinstance(stmt, ast.Raise):
+            self.cfg.block(current).stmts.append(stmt)
+            self._route_raise(current)
+            return None
+        # Nested defs/classes: record the statement (the def binds a name)
+        # but do not descend — nested functions get their own CFGs.
+        self.cfg.block(current).stmts.append(stmt)
+        return current
+
+    def _emit_condition(self, test: ast.expr, current: int) -> Tuple[int, List[int], List[int]]:
+        """Decompose a test into condition blocks with boolean short-circuit.
+
+        Returns (last condition block, true-edge sources, false-edge sources).
+        """
+        if isinstance(test, ast.BoolOp):
+            true_srcs: List[int] = []
+            false_srcs: List[int] = []
+            src = current
+            for index, value in enumerate(test.values):
+                last = index == len(test.values) - 1
+                cond = self.cfg._new_block("cond")
+                cond.stmts.append(ast.copy_location(ast.Expr(value=value), value))
+                self.cfg.add_edge(src, cond.id)
+                if last:
+                    true_srcs.append(cond.id)
+                    false_srcs.append(cond.id)
+                elif isinstance(test.op, ast.And):
+                    false_srcs.append(cond.id)  # short-circuit: whole test false
+                    src = cond.id
+                else:  # Or
+                    true_srcs.append(cond.id)  # short-circuit: whole test true
+                    src = cond.id
+            return src, true_srcs, false_srcs
+        cond = self.cfg._new_block("cond")
+        cond.stmts.append(ast.copy_location(ast.Expr(value=test), test))
+        self.cfg.add_edge(current, cond.id)
+        return cond.id, [cond.id], [cond.id]
+
+    @staticmethod
+    def _constant_true(test: ast.expr) -> bool:
+        return isinstance(test, ast.Constant) and bool(test.value)
+
+    def _emit_if(self, stmt: ast.If, current: int) -> Optional[int]:
+        _, true_srcs, false_srcs = self._emit_condition(stmt.test, current)
+        then_head = self.cfg._new_block("then")
+        for src in true_srcs:
+            self.cfg.add_edge(src, then_head.id)
+        then_tail = self._emit_body(stmt.body, then_head.id)
+        tails: List[int] = [t for t in (then_tail,) if t is not None]
+        if stmt.orelse:
+            else_head = self.cfg._new_block("else")
+            for src in false_srcs:
+                self.cfg.add_edge(src, else_head.id)
+            else_tail = self._emit_body(stmt.orelse, else_head.id)
+            if else_tail is not None:
+                tails.append(else_tail)
+            false_srcs = []
+        if not tails and not false_srcs:
+            return None
+        after = self.cfg._new_block("after_if")
+        for tail in tails:
+            self.cfg.add_edge(tail, after.id)
+        for src in false_srcs:
+            self.cfg.add_edge(src, after.id)
+        return after.id
+
+    def _emit_while(self, stmt: ast.While, current: int) -> Optional[int]:
+        head = self.cfg._new_block("loop_head")
+        self.cfg.add_edge(current, head.id)
+        after = self.cfg._new_block("after_loop")
+        if self._constant_true(stmt.test):
+            body_head = self.cfg._new_block("loop_body")
+            self.cfg.add_edge(head.id, body_head.id)
+            true_srcs: List[int] = []
+            false_srcs = []
+        else:
+            _, true_srcs, false_srcs = self._emit_condition(stmt.test, head.id)
+            body_head = self.cfg._new_block("loop_body")
+            for src in true_srcs:
+                self.cfg.add_edge(src, body_head.id)
+        self.frames.append(_Frame("loop", continue_target=head.id, break_target=after.id))
+        body_tail = self._emit_body(stmt.body, body_head.id)
+        self.frames.pop()
+        if body_tail is not None:
+            self.cfg.add_edge(body_tail, head.id)
+        if stmt.orelse:
+            else_head = self.cfg._new_block("loop_else")
+            for src in false_srcs:
+                self.cfg.add_edge(src, else_head.id)
+            else_tail = self._emit_body(stmt.orelse, else_head.id)
+            if else_tail is not None:
+                self.cfg.add_edge(else_tail, after.id)
+        else:
+            for src in false_srcs:
+                self.cfg.add_edge(src, after.id)
+        if not after.pred:
+            return None  # while True with no break
+        return after.id
+
+    @staticmethod
+    def _header_copy(stmt: ast.stmt) -> ast.stmt:
+        """A body-stripped copy of a compound stmt for header blocks.
+
+        Header blocks must carry the header semantics (iterator advance,
+        context-expr evaluation, target binding) without duplicating the
+        body statements, which live in their own blocks.
+        """
+        cls = type(stmt)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            copy = cls(target=stmt.target, iter=stmt.iter, body=[], orelse=[])
+        else:  # With / AsyncWith
+            copy = cls(items=stmt.items, body=[])
+        return ast.copy_location(copy, stmt)
+
+    def _emit_for(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        head = self.cfg._new_block("loop_head")
+        head.stmts.append(self._header_copy(stmt))
+        self.cfg.add_edge(current, head.id)
+        after = self.cfg._new_block("after_loop")
+        body_head = self.cfg._new_block("loop_body")
+        self.cfg.add_edge(head.id, body_head.id)
+        self.frames.append(_Frame("loop", continue_target=head.id, break_target=after.id))
+        body_tail = self._emit_body(stmt.body, body_head.id)
+        self.frames.pop()
+        if body_tail is not None:
+            self.cfg.add_edge(body_tail, head.id)
+        if stmt.orelse:
+            else_head = self.cfg._new_block("loop_else")
+            self.cfg.add_edge(head.id, else_head.id)
+            else_tail = self._emit_body(stmt.orelse, else_head.id)
+            if else_tail is not None:
+                self.cfg.add_edge(else_tail, after.id)
+        else:
+            self.cfg.add_edge(head.id, after.id)
+        if not after.pred:
+            return None
+        return after.id
+
+    def _emit_with(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        header = self.cfg._new_block("with")
+        header.stmts.append(self._header_copy(stmt))
+        self.cfg.add_edge(current, header.id)
+        body_head = self.cfg._new_block("with_body")
+        self.cfg.add_edge(header.id, body_head.id)
+        return self._emit_body(stmt.body, body_head.id)
+
+    def _emit_try(self, stmt: ast.Try, current: int) -> Optional[int]:
+        finally_body = stmt.finalbody or None
+        after = self.cfg._new_block("after_try")
+
+        handler_heads: List[int] = []
+        if finally_body:
+            self.frames.append(_Frame("finally", finally_body=finally_body))
+        if stmt.handlers:
+            for handler in stmt.handlers:
+                head = self.cfg._new_block("except")
+                if handler.type is not None:
+                    head.stmts.append(ast.copy_location(ast.Expr(value=handler.type), handler.type))
+                handler_heads.append(head.id)
+            self.frames.append(_Frame("except", handler_heads=handler_heads))
+
+        try_head = self.cfg._new_block("try_body")
+        self.cfg.add_edge(current, try_head.id)
+        try_tail = self._emit_try_body(stmt.body, try_head.id, handler_heads)
+
+        if stmt.handlers:
+            self.frames.pop()  # except frame: handler bodies re-raise outward
+
+        handler_tails: List[int] = []
+        for handler, head in zip(stmt.handlers, handler_heads):
+            tail = self._emit_body(handler.body, head)
+            if tail is not None:
+                handler_tails.append(tail)
+
+        else_tail: Optional[int] = None
+        if try_tail is not None:
+            if stmt.orelse:
+                else_head = self.cfg._new_block("try_else")
+                self.cfg.add_edge(try_tail, else_head.id)
+                else_tail = self._emit_body(stmt.orelse, else_head.id)
+            else:
+                else_tail = try_tail
+
+        if finally_body:
+            self.frames.pop()  # finally frame
+            live_tails = [t for t in ([else_tail] if else_tail is not None else []) + handler_tails]
+            if not live_tails:
+                return None
+            head = self.cfg._new_block("finally")
+            for tail in live_tails:
+                self.cfg.add_edge(tail, head.id)
+            fin_tail = self._emit_body(finally_body, head.id)
+            if fin_tail is None:
+                return None
+            self.cfg.add_edge(fin_tail, after.id)
+            return after.id
+
+        tails = ([else_tail] if else_tail is not None else []) + handler_tails
+        if not tails:
+            return None
+        for tail in tails:
+            self.cfg.add_edge(tail, after.id)
+        return after.id
+
+    def _emit_try_body(
+        self, body: Sequence[ast.stmt], entry_block: int, handler_heads: List[int]
+    ) -> Optional[int]:
+        """Emit a try body; every block in it gets exception edges to handlers."""
+        before = set(self.cfg.blocks)
+        tail = self._emit_body(body, entry_block)
+        if handler_heads:
+            new_blocks = [bid for bid in self.cfg.blocks if bid not in before]
+            for bid in [entry_block] + new_blocks:
+                block = self.cfg.block(bid)
+                if block.label in ("except",):
+                    continue
+                for head in handler_heads:
+                    if bid != head:
+                        self.cfg.add_edge(bid, head)
+        return tail
+
+
+def build_cfg(func: "ast.AST", name: Optional[str] = None) -> CFG:
+    """Build the CFG for a FunctionDef/AsyncFunctionDef/Lambda node."""
+    label = name
+    if label is None:
+        label = getattr(func, "name", None) or "<lambda>"
+    builder = _Builder(label)
+    if isinstance(func, ast.Lambda):
+        body_block = builder.cfg._new_block("body")
+        builder.cfg.add_edge(builder.cfg.entry.id, body_block.id)
+        body_block.stmts.append(ast.copy_location(ast.Expr(value=func.body), func.body))
+        builder.cfg.add_edge(body_block.id, builder.cfg.exit.id)
+        return builder.cfg
+    body_block = builder.cfg._new_block("body")
+    builder.cfg.add_edge(builder.cfg.entry.id, body_block.id)
+    tail = builder._emit_body(func.body, body_block.id)
+    if tail is not None:
+        builder.cfg.add_edge(tail, builder.cfg.exit.id)
+    return builder.cfg

@@ -34,6 +34,7 @@ from repro.analysis.lint.report import (
     diff_reports,
     parse_json,
     render_json,
+    render_sarif,
     render_text,
 )
 from repro.analysis.lint.rules import default_rules
@@ -59,8 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
         "strict everywhere, relaxed for cluster/benchmarks/tests/examples)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text); sarif is the GitHub "
+        "code-scanning upload format",
     )
     parser.add_argument(
         "--output", type=Path, default=None,
@@ -72,7 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--show-advisory", action="store_true",
-        help="include advisory findings (RL012) in text output",
+        help="include advisory findings (RL012/RL016) in text output",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -108,10 +110,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _list_rules() -> str:
+    """The catalog with profile membership, scope and gating status.
+
+    Everything a reader previously had to dig out of the ROADMAP rule
+    table: which profiles enable the rule, where it applies, and whether
+    it gates the exit code or only reports.
+    """
     lines = []
     for rule in default_rules():
+        profiles = ", ".join(
+            sorted(
+                name for name, profile in PROFILES.items()
+                if rule.id in profile.rule_ids
+            )
+        )
+        scopes = list(rule.scope_dirs) + list(rule.scope_files)
+        scope = "all files" if not scopes else ", ".join(scopes)
+        if rule.exclude_files:
+            scope += f" (except {', '.join(rule.exclude_files)})"
+        status = "advisory — never gates" if rule.advisory else "gating"
         lines.append(f"{rule.id}  {rule.title}")
         lines.append(f"       {rule.rationale}")
+        lines.append(f"       profiles: {profiles or 'none'} | {status}")
+        lines.append(f"       scope: {scope}")
     return "\n".join(lines)
 
 
@@ -188,6 +209,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     report = linter.lint_paths(lint_paths, cache=cache)
     if args.format == "json":
         rendered = render_json(report)
+    elif args.format == "sarif":
+        rendered = render_sarif(report, rules=linter.rules)
     else:
         rendered = render_text(
             report,

@@ -66,7 +66,7 @@ META_RULE_ID = "RL000"
 
 #: Bumped whenever rule/summary semantics change; part of the cache key,
 #: so a stale cache from an older linter is discarded, never reused.
-LINT_VERSION = "2"
+LINT_VERSION = "3"
 
 
 @dataclass(slots=True)
@@ -234,6 +234,8 @@ class Rule:
     id: str = ""
     title: str = ""
     rationale: str = ""
+    #: Advisory rules report (under ``--show-advisory``) but never gate.
+    advisory: bool = False
     #: Path substrings, e.g. "/repro/ndn/". Empty = every file.
     scope_dirs: tuple[str, ...] = ()
     #: Path suffixes, e.g. "/repro/sim/engine.py". Checked after scope_dirs.
@@ -356,7 +358,8 @@ class Profile:
 _ALL_RULE_IDS = frozenset(
     {
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-        "RL008", "RL009", "RL010", "RL011", "RL012",
+        "RL008", "RL009", "RL010", "RL011", "RL012", "RL013", "RL014",
+        "RL015", "RL016",
     }
 )
 
@@ -364,10 +367,10 @@ PROFILES: dict[str, Profile] = {
     #: Full catalog: the forwarding plane and simulator live here, but the
     #: invariant rules self-scope, so strict is safe for the whole of src/.
     "strict": Profile("strict", _ALL_RULE_IDS),
-    #: Hygiene only: exception discipline and mutable defaults.  Meant for
-    #: cluster/benchmarks/tests, where wall clocks and ad-hoc exports are
-    #: legitimate.
-    "relaxed": Profile("relaxed", frozenset({"RL004", "RL005"})),
+    #: Hygiene plus resource safety: exception discipline, mutable
+    #: defaults, and leaked handles (RL014 applies "everywhere" by
+    #: contract — a benchmark that leaks a pipe is as broken as the plane).
+    "relaxed": Profile("relaxed", frozenset({"RL004", "RL005", "RL014"})),
 }
 
 #: Ordered (path substring, profile name); first match wins, default strict.

@@ -1,0 +1,398 @@
+"""Dataflow rules RL013-RL016: what the CFG layer sees that call graphs miss.
+
+These rules consume the per-function flow facts that
+:func:`repro.analysis.lint.dataflow.analyze_function` stored in each
+:class:`~repro.analysis.lint.symbols.ModuleSummary` — they are
+:class:`~repro.analysis.lint.engine.SummaryRule` subclasses, so warm cache
+runs drive them without re-parsing a single file.
+
+Conditional events (a tracked value passed to a call) are resolved *here*,
+one call deep: the event's ``(line, col)`` is matched against the resolved
+call graph, and the callee's ``param_escapes`` / ``param_releases``
+summary decides whether the event is an escape / a release.  An
+unresolved callee (stdlib, third party) is treated asymmetrically by
+design: it never *proves* an escape (RL013 stays quiet) and it always
+*may* release (RL014 stays quiet) — both choices keep the gating rules
+precise at the cost of recall, which is the right trade for a gate.
+
+========  ==============================================================
+RL013     escape-then-mutate: a wire buffer/bytearray mutated in place
+          after escaping into a cache/CS entry/ledger/attribute or a
+          shard boundary (forwarding plane + packet codec).  The
+          copy-then-patch idiom (``patched = bytearray(pkt.wire)`` …
+          mutate … ``bytes(patched)``) is *proven* clean: ``bytes(x)``
+          is a copy, not an alias, and mutation-before-escape never
+          matches.
+RL014     resource leak: a handle from ``open``/``Pipe``/``Popen``/
+          ``lock.acquire()`` with a normal-exit CFG path that neither
+          releases it, returns it, nor stores it away (everywhere,
+          relaxed profile included; ``with`` satisfies trivially).
+RL015     fork-shared state: a module-level mutable global written by
+          code reachable from a ``Process(target=...)`` worker
+          entrypoint while parent-side code reads it — the write lands
+          in the child's copy, the parent silently diverges.
+RL016     advisory: allocation churn (displays, comprehensions,
+          f-strings, constructor calls) inside loop bodies of hot-path
+          functions, with loop depth and per-function counts — the
+          machine-generated worklist for the capacity refactor.
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence, Tuple
+
+from repro.analysis.lint.effects import FORWARDING_PLANE_FILES, HOT_LOOP_FILES
+from repro.analysis.lint.engine import Finding, SummaryRule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.lint.callgraph import ProjectIndex
+    from repro.analysis.lint.engine import ModuleRecord
+
+__all__ = [
+    "EscapeThenMutateRule",
+    "ResourceLeakRule",
+    "ForkSharedStateRule",
+    "HotLoopChurnRule",
+    "flow_rules",
+]
+
+
+def _resolve_site(
+    index: "ProjectIndex", key: str, func: str, line: int, col: int
+) -> Optional[str]:
+    """The callee qualname resolved at a recorded call site, or None."""
+    edges = index.resolved.get(key, {}).get(func, [])
+    for callee, edge_line, edge_col in edges:
+        if edge_line == line and edge_col == col:
+            return callee
+    return None
+
+
+def _callee_flow(index: "ProjectIndex", callee: str) -> Tuple[Optional[dict], str]:
+    """(flow dict, local qualname) for a resolved callee, if summarised."""
+    entry = index.functions.get(callee)
+    if entry is None:
+        return None, ""
+    key, local, _line = entry
+    summary = index.summaries.get(key)
+    if summary is None:
+        return None, local
+    return summary.flow.get(local, {}), local
+
+
+def _param_matches(flow: dict, local: str, arg: object, summary_key: str) -> bool:
+    """Does the argref land on a summarised parameter name in ``summary_key``?
+
+    ``summary_key`` is ``"param_escapes"`` or ``"param_releases"``.  When
+    the position cannot be mapped (nested/starred arg, no params list),
+    fall back to "any summarised param" — may-semantics.
+    """
+    names = flow.get(summary_key, [])
+    if not names:
+        return False
+    params = flow.get("params", [])
+    if isinstance(arg, str):
+        return arg in names
+    if isinstance(arg, int) and params:
+        # Method receivers: a leading self/cls is not passed explicitly.
+        offset = 1 if "." in local and params[:1] in (["self"], ["cls"]) else 0
+        position = arg + offset
+        if 0 <= position < len(params):
+            return params[position] in names
+    return True  # unmappable: any summarised param may be the one
+
+
+def _hop(function: str, path: str, line: int) -> dict:
+    return {"function": function, "path": path, "line": line}
+
+
+class EscapeThenMutateRule(SummaryRule):
+    """RL013: in-place mutation of a buffer after it escaped."""
+
+    id = "RL013"
+    title = "no in-place mutation of an escaped wire buffer"
+    rationale = (
+        "a buffer stored in a cache/CS/ledger or handed to a shard is shared; "
+        "patching it afterwards corrupts every future reader"
+    )
+    #: The forwarding plane plus the codec: the copy-then-patch idiom in
+    #: packet.py is in scope precisely so it is *proven* clean, not skipped.
+    scope_files = FORWARDING_PLANE_FILES + ("/repro/ndn/packet.py",)
+
+    def check_summaries(
+        self, records: Sequence["ModuleRecord"], index: "ProjectIndex"
+    ) -> Iterator[Finding]:
+        for record in records:
+            summary = record.summary
+            if summary is None:
+                continue
+            for func in sorted(summary.flow):
+                for candidate in summary.flow[func].get("escape_mutations", []):
+                    escape = candidate["escape"]
+                    if escape["kind"] == "call":
+                        callee = _resolve_site(
+                            index, summary.key, func,
+                            escape["line"], escape["col"],
+                        )
+                        if callee is None:
+                            continue  # unresolved call proves nothing
+                        flow, local = _callee_flow(index, callee)
+                        if not flow or not _param_matches(
+                            flow, local, escape.get("arg"), "param_escapes"
+                        ):
+                            continue
+                        how = f"escapes via {callee}(...)"
+                    else:
+                        how = escape["desc"]
+                    mutation = candidate["mutation"]
+                    finding = Finding(
+                        rule=self.id,
+                        path=record.display,
+                        line=mutation["line"],
+                        col=0,
+                        message=(
+                            f"buffer {candidate['var']!r} "
+                            f"({candidate['def_desc']}, line "
+                            f"{candidate['def_line']}) {how} at line "
+                            f"{escape['line']} and is mutated in place at "
+                            f"line {mutation['line']} ({mutation['desc']}); "
+                            "mutate before publishing, or copy first"
+                        ),
+                    )
+                    finding.chain = [
+                        _hop(f"{summary.key}.{func}", record.display,
+                             candidate["def_line"]),
+                        _hop(f"escape: {how}", record.display, escape["line"]),
+                        _hop(f"mutation: {mutation['desc']}", record.display,
+                             mutation["line"]),
+                    ]
+                    yield finding
+
+
+class ResourceLeakRule(SummaryRule):
+    """RL014: a handle with a normal-exit path that never releases it."""
+
+    id = "RL014"
+    title = "no leaked handles (open/Pipe/Popen/acquire)"
+    rationale = (
+        "an unclosed pipe or file survives as long as the process; under a "
+        "worker pool that is a fd-exhaustion countdown"
+    )
+
+    def check_summaries(
+        self, records: Sequence["ModuleRecord"], index: "ProjectIndex"
+    ) -> Iterator[Finding]:
+        for record in records:
+            summary = record.summary
+            if summary is None:
+                continue
+            for func in sorted(summary.flow):
+                for leak in summary.flow[func].get("leaks", []):
+                    absolved = False
+                    crossed: list[dict] = []
+                    for site in leak["sites"]:
+                        callee = _resolve_site(
+                            index, summary.key, func, site["line"], site["col"]
+                        )
+                        if callee is None:
+                            # Unknown callee may assume ownership (e.g. a
+                            # stdlib wrapper); don't gate on a guess.
+                            absolved = True
+                            break
+                        flow, local = _callee_flow(index, callee)
+                        if flow and _param_matches(
+                            flow, local, site.get("arg"), "param_releases"
+                        ):
+                            absolved = True
+                            break
+                        crossed.append(
+                            _hop(f"passed to {callee}(...) which never "
+                                 "releases it",
+                                 index.display_of_function(callee) or "",
+                                 site["line"])
+                        )
+                    if absolved:
+                        continue
+                    finding = Finding(
+                        rule=self.id,
+                        path=record.display,
+                        line=leak["line"],
+                        col=0,
+                        message=(
+                            f"handle {leak['var']!r} from {leak['desc']} has "
+                            "a path to function exit that never closes it; "
+                            "release it, return it, store it, or use 'with'"
+                        ),
+                    )
+                    finding.chain = (
+                        [_hop(f"{summary.key}.{func}: {leak['desc']}",
+                              record.display, leak["line"])]
+                        + crossed
+                        + [_hop("function exit without release",
+                                record.display, leak["line"])]
+                    )
+                    yield finding
+
+
+class ForkSharedStateRule(SummaryRule):
+    """RL015: worker-written module globals that parent-side code reads."""
+
+    id = "RL015"
+    title = "no fork-shared mutable globals"
+    rationale = (
+        "after fork the child writes its own copy; a parent-side reader "
+        "sees pre-fork state forever and the divergence is silent"
+    )
+
+    def _roots(self, index: "ProjectIndex") -> list[str]:
+        roots: list[str] = []
+        for key in sorted(index.summaries):
+            summary = index.summaries[key]
+            for target in summary.fork_targets:
+                if target in summary.functions:
+                    roots.append(f"{key}.{target}")
+                    continue
+                dotted = summary.imports.get(target)
+                if dotted and dotted in index.functions:
+                    roots.append(dotted)
+        return sorted(set(roots))
+
+    def _reachable(self, index: "ProjectIndex", roots: list[str]) -> dict:
+        """qual -> predecessor qual (BFS tree for witness chains)."""
+        parent: dict[str, Optional[str]] = {root: None for root in roots}
+        frontier = list(roots)
+        while frontier:
+            qual = frontier.pop(0)
+            entry = index.functions.get(qual)
+            if entry is None:
+                continue
+            key, local, _line = entry
+            for callee, _cline, _ccol in index.resolved.get(key, {}).get(local, []):
+                if callee not in parent:
+                    parent[callee] = qual
+                    frontier.append(callee)
+        return parent
+
+    def check_summaries(
+        self, records: Sequence["ModuleRecord"], index: "ProjectIndex"
+    ) -> Iterator[Finding]:
+        roots = self._roots(index)
+        if not roots:
+            return
+        parent = self._reachable(index, roots)
+        for record in records:
+            summary = record.summary
+            if summary is None or not summary.mutable_globals:
+                continue
+            shared = set(summary.mutable_globals)
+            # Parent-side readers: functions of this module NOT reachable
+            # from any fork root.
+            readers: dict[str, list[Tuple[str, int]]] = {}
+            for func in sorted(summary.flow):
+                if f"{summary.key}.{func}" in parent:
+                    continue
+                for name, line in summary.flow[func].get("reads", {}).items():
+                    if name in shared:
+                        readers.setdefault(name, []).append((func, line))
+            if not readers:
+                continue
+            for func in sorted(summary.flow):
+                qual = f"{summary.key}.{func}"
+                if qual not in parent:
+                    continue
+                for name, line in summary.flow[func].get("writes", {}).items():
+                    if name not in readers:
+                        continue
+                    reader_func, reader_line = readers[name][0]
+                    # Witness: fork root -> ... -> writer.
+                    chain_quals = [qual]
+                    hop = parent[qual]
+                    while hop is not None:
+                        chain_quals.append(hop)
+                        hop = parent[hop]
+                    chain_quals.reverse()
+                    finding = Finding(
+                        rule=self.id,
+                        path=record.display,
+                        line=line,
+                        col=0,
+                        message=(
+                            f"module global {name!r} is written here by "
+                            f"worker-side code (reachable from fork target "
+                            f"{chain_quals[0]}) and read parent-side by "
+                            f"{reader_func} (line {reader_line}); post-fork "
+                            "writes never reach the parent"
+                        ),
+                    )
+                    finding.chain = [
+                        _hop(q, index.display_of_function(q) or record.display,
+                             index.line_of_function(q) or 1)
+                        for q in chain_quals
+                    ] + [
+                        _hop(f"write to {name!r}", record.display, line),
+                        _hop(f"parent-side read in {reader_func}",
+                             record.display, reader_line),
+                    ]
+                    yield finding
+
+
+class HotLoopChurnRule(SummaryRule):
+    """RL016 (advisory): allocation churn inside hot-path loop bodies.
+
+    One finding per function, carrying the per-function site count and the
+    maximum loop-nest depth — sorted output under ``--show-advisory`` *is*
+    the ranked refactor worklist for the capacity open item.
+    """
+
+    id = "RL016"
+    title = "hot-loop allocation churn (advisory)"
+    rationale = (
+        "per-packet displays/f-strings/constructors in the engine loop are "
+        "the allocator pressure the capacity refactor must remove"
+    )
+    advisory = True
+    scope_files = HOT_LOOP_FILES
+
+    def check_summaries(
+        self, records: Sequence["ModuleRecord"], index: "ProjectIndex"
+    ) -> Iterator[Finding]:
+        for record in records:
+            summary = record.summary
+            if summary is None:
+                continue
+            for func in sorted(summary.flow):
+                sites = [
+                    s for s in summary.flow[func].get("allocs", [])
+                    if s["depth"] >= 1
+                ]
+                if not sites:
+                    continue
+                max_depth = max(s["depth"] for s in sites)
+                examples = ", ".join(
+                    f"{s['desc']} (line {s['line']}, depth {s['depth']})"
+                    for s in sorted(
+                        sites, key=lambda s: (-s["depth"], s["line"])
+                    )[:3]
+                )
+                yield Finding(
+                    rule=self.id,
+                    path=record.display,
+                    line=sites[0]["line"],
+                    col=0,
+                    message=(
+                        f"{func}: {len(sites)} allocation site(s) in loop "
+                        f"bodies (max depth {max_depth}): {examples}"
+                    ),
+                    severity="advisory",
+                )
+
+
+def flow_rules() -> list[SummaryRule]:
+    """RL013-RL016, in rule-id order."""
+    return [
+        EscapeThenMutateRule(),
+        ResourceLeakRule(),
+        ForkSharedStateRule(),
+        HotLoopChurnRule(),
+    ]

@@ -195,6 +195,7 @@ class DeadExportRule(SummaryRule):
     id = "RL012"
     title = "dead exports (advisory)"
     rationale = "an export nobody references documents an API that no longer exists"
+    advisory = True
 
     def check_summaries(
         self, records: Sequence["ModuleRecord"], index: "ProjectIndex"

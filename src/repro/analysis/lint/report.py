@@ -39,12 +39,19 @@ from repro.analysis.lint.engine import Finding, LintReport
 __all__ = [
     "render_text",
     "render_json",
+    "render_sarif",
     "parse_json",
     "diff_reports",
     "JSON_SCHEMA_ID",
+    "SARIF_SCHEMA_URI",
 ]
 
 JSON_SCHEMA_ID = "reprolint-report/2"
+
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 #: Schemas :func:`parse_json` accepts (older baselines must keep parsing).
 _ACCEPTED_SCHEMAS = ("reprolint-report/1", JSON_SCHEMA_ID)
@@ -99,6 +106,104 @@ def render_json(report: LintReport) -> str:
             "waived_by_rule": report.waived_by_rule(),
         },
         "findings": [finding.as_dict() for finding in report.findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+def _sarif_location(path: str, line: int, col: int = 0,
+                    message: "str | None" = None) -> dict:
+    location = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path.replace("\\", "/").lstrip("/")},
+            "region": {"startLine": max(line, 1), "startColumn": col + 1},
+        }
+    }
+    if message is not None:
+        location["message"] = {"text": message}
+    return location
+
+
+def render_sarif(report: LintReport, rules=None) -> str:
+    """SARIF 2.1.0 — the GitHub code-scanning upload format.
+
+    Rule metadata comes from ``rules`` (default: the full catalog), so
+    every catalog rule appears in ``tool.driver.rules`` even when it
+    found nothing.  Witness chains map to ``codeFlows``/``threadFlows``
+    — the structure code-scanning renders as a step-through path — and
+    waived findings carry an ``inSource`` suppression, so they annotate
+    without alerting.
+    """
+    from repro.analysis.lint.engine import LINT_VERSION
+
+    if rules is None:
+        from repro.analysis.lint.rules import default_rules
+
+        rules = default_rules()
+    rule_index = {rule.id: position for position, rule in enumerate(rules)}
+    descriptors = [
+        {
+            "id": rule.id,
+            "name": rule.title,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {
+                "level": "note" if rule.advisory else "error"
+            },
+            "properties": {"advisory": rule.advisory},
+        }
+        for rule in rules
+    ]
+    results = []
+    for finding in report.findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": "note" if finding.severity == "advisory" else "error",
+            "message": {"text": finding.message},
+            "locations": [
+                _sarif_location(finding.path, finding.line, finding.col)
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        if finding.waived:
+            result["suppressions"] = [
+                {"kind": "inSource", "justification": finding.waiver_reason}
+            ]
+        if finding.chain:
+            result["codeFlows"] = [
+                {
+                    "threadFlows": [
+                        {
+                            "locations": [
+                                {
+                                    "location": _sarif_location(
+                                        hop.get("path") or finding.path,
+                                        hop.get("line") or 1,
+                                        message=hop.get("function", ""),
+                                    )
+                                }
+                                for hop in finding.chain
+                            ]
+                        }
+                    ]
+                }
+            ]
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": LINT_VERSION,
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(document, indent=2, sort_keys=False)
 

@@ -610,6 +610,7 @@ class ExportDriftRule(Rule):
 
 def default_rules() -> list[Rule]:
     """The full catalog, in rule-id order."""
+    from repro.analysis.lint.flowrules import flow_rules
     from repro.analysis.lint.interproc import interprocedural_rules
 
     return [
@@ -622,4 +623,5 @@ def default_rules() -> list[Rule]:
         TlvRegistryRule(),
         ExportDriftRule(),
         *interprocedural_rules(),
+        *flow_rules(),
     ]

@@ -30,6 +30,7 @@ from __future__ import annotations
 import ast
 from typing import Optional
 
+from repro.analysis.lint.dataflow import analyze_function, analyze_module
 from repro.analysis.lint.engine import SourceFile, Waiver, dotted_name, norm_path
 from repro.analysis.lint.effects import (
     AMBIENT_ENTROPY,
@@ -115,6 +116,9 @@ class ModuleSummary:
         "sanctioned",
         "tlv_registry",
         "tlv_refs",
+        "flow",
+        "mutable_globals",
+        "fork_targets",
     )
 
     def __init__(self, display: str, path: str, module: Optional[str]) -> None:
@@ -138,6 +142,12 @@ class ModuleSummary:
         self.sanctioned: list[dict] = []
         self.tlv_registry: Optional[dict[str, list[int]]] = None
         self.tlv_refs: list[list] = []
+        #: local function -> dataflow facts (see dataflow.analyze_function)
+        self.flow: dict[str, dict] = {}
+        #: module-level names bound to mutable containers (RL015)
+        self.mutable_globals: list[str] = []
+        #: worker entrypoint names passed as Process(target=...) (RL015)
+        self.fork_targets: list[str] = []
 
     @property
     def key(self) -> str:
@@ -163,6 +173,9 @@ class ModuleSummary:
             "sanctioned": self.sanctioned,
             "tlv_registry": self.tlv_registry,
             "tlv_refs": self.tlv_refs,
+            "flow": self.flow,
+            "mutable_globals": self.mutable_globals,
+            "fork_targets": self.fork_targets,
         }
 
     @classmethod
@@ -182,6 +195,9 @@ class ModuleSummary:
         summary.sanctioned = list(raw["sanctioned"])
         summary.tlv_registry = raw["tlv_registry"]
         summary.tlv_refs = list(raw["tlv_refs"])
+        summary.flow = dict(raw.get("flow", {}))
+        summary.mutable_globals = list(raw.get("mutable_globals", []))
+        summary.fork_targets = list(raw.get("fork_targets", []))
         return summary
 
 
@@ -395,6 +411,22 @@ def _tlv_registry(tree: ast.Module) -> Optional[dict[str, list[int]]]:
     return None
 
 
+def _flow_functions(tree: ast.Module) -> list:
+    """(qualname, node) pairs for module-level functions and methods,
+    mirroring the ``_Walker`` qualname convention (nested defs fold)."""
+    found: list = []
+
+    def descend(body, class_stack: list[str]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                found.append((".".join(class_stack + [node.name]), node))
+            elif isinstance(node, ast.ClassDef):
+                descend(node.body, class_stack + [node.name])
+
+    descend(tree.body, [])
+    return found
+
+
 def _base_rule_applies(effect: str, path: str) -> bool:
     """Does the line-local owner of ``effect`` lint this path directly?"""
     if effect == BLOCKS:
@@ -426,6 +458,14 @@ def summarize(module: SourceFile) -> Optional[ModuleSummary]:
     summary.exports = _module_exports(module.tree)
     if summary.path.endswith(_TLV_REGISTRY_FILE):
         summary.tlv_registry = _tlv_registry(module.tree)
+    # Dataflow layer: module facts first (they scope the per-function pass),
+    # then one CFG + flow extraction per module-level function.  Functions
+    # with nothing to report contribute no cache weight.
+    summary.mutable_globals, summary.fork_targets = analyze_module(module.tree)
+    for qual, node in _flow_functions(module.tree):
+        flow = analyze_function(node, summary.mutable_globals)
+        if flow:
+            summary.flow[qual] = flow
     # Sanctioned sinks: a site whose line is waived for its base rule
     # (where that rule applies directly) or for the transitive rule stops
     # propagating.  The latter is recorded so the driver can surface the

@@ -1,0 +1,199 @@
+"""CFG construction edge cases: exact edge-set assertions.
+
+Every test pins the *full* labelled edge set of a function's CFG — not
+just "no crash" — so a builder regression that silently drops or adds an
+edge fails loudly.  Labels repeat with ``#n`` suffixes in block-id order
+(see :func:`repro.analysis.lint.cfg.edge_set`).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.cfg import build_cfg, edge_set
+
+
+def _cfg_for(source: str):
+    node = ast.parse(source).body[0]
+    if isinstance(node, ast.Assign):  # lambda fixtures: g = lambda ...
+        node = node.value
+    return build_cfg(node)
+
+
+def test_try_finally_with_break_duplicates_finally_on_the_break_path():
+    cfg = _cfg_for(
+        "def f(xs):\n"
+        "    for x in xs:\n"
+        "        try:\n"
+        "            use(x)\n"
+        "            break\n"
+        "        finally:\n"
+        "            cleanup()\n"
+        "    done()\n"
+    )
+    assert edge_set(cfg) == {
+        ("entry", "body"),
+        ("body", "loop_head"),
+        ("loop_head", "loop_body"),
+        ("loop_head", "after_loop"),
+        ("loop_body", "try_body"),
+        # break unwinds through the instantiated finally body, then lands
+        # on the loop's after block — never back at the loop head.
+        ("try_body", "finally"),
+        ("finally", "after_loop"),
+        ("after_loop", "exit"),
+    }
+
+
+def test_nested_with_chains_headers_and_bodies():
+    cfg = _cfg_for(
+        "def f(a, b):\n"
+        "    with open(a) as fa:\n"
+        "        with open(b) as fb:\n"
+        "            work(fa, fb)\n"
+        "    done()\n"
+    )
+    assert edge_set(cfg) == {
+        ("entry", "body"),
+        ("body", "with"),
+        ("with", "with_body"),
+        ("with_body", "with#1"),
+        ("with#1", "with_body#1"),
+        ("with_body#1", "exit"),
+    }
+
+
+def test_while_else_runs_only_on_condition_falsification():
+    cfg = _cfg_for(
+        "def f(n):\n"
+        "    while n > 0:\n"
+        "        n -= 1\n"
+        "    else:\n"
+        "        fallback()\n"
+        "    done()\n"
+    )
+    assert edge_set(cfg) == {
+        ("entry", "body"),
+        ("body", "loop_head"),
+        ("loop_head", "cond"),
+        ("cond", "loop_body"),
+        ("cond", "loop_else"),
+        ("loop_body", "loop_head"),
+        ("loop_else", "after_loop"),
+        ("after_loop", "exit"),
+    }
+
+
+def test_generator_yield_is_ordinary_flow():
+    cfg = _cfg_for(
+        "def f(xs):\n"
+        "    for x in xs:\n"
+        "        yield x * 2\n"
+    )
+    assert edge_set(cfg) == {
+        ("entry", "body"),
+        ("body", "loop_head"),
+        ("loop_head", "loop_body"),
+        ("loop_head", "after_loop"),
+        ("loop_body", "loop_head"),
+        ("after_loop", "exit"),
+    }
+
+
+def test_lambda_gets_a_trivial_three_block_graph():
+    cfg = _cfg_for("g = lambda x: x + 1\n")
+    assert cfg.name == "<lambda>"
+    assert edge_set(cfg) == {
+        ("entry", "body"),
+        ("body", "exit"),
+    }
+
+
+def test_boolean_and_short_circuits_around_the_second_condition():
+    cfg = _cfg_for(
+        "def f(a, b):\n"
+        "    if a and b:\n"
+        "        both()\n"
+        "    done()\n"
+    )
+    assert edge_set(cfg) == {
+        ("entry", "body"),
+        ("body", "cond"),
+        # a false: skip b entirely; a true: evaluate b.
+        ("cond", "after_if"),
+        ("cond", "cond#1"),
+        ("cond#1", "then"),
+        ("cond#1", "after_if"),
+        ("then", "after_if"),
+        ("after_if", "exit"),
+    }
+
+
+def test_try_except_adds_exception_edges_into_the_handler():
+    cfg = _cfg_for(
+        "def f(x):\n"
+        "    try:\n"
+        "        risky(x)\n"
+        "    except ValueError:\n"
+        "        handle()\n"
+        "    done()\n"
+    )
+    assert edge_set(cfg) == {
+        ("entry", "body"),
+        ("body", "try_body"),
+        ("try_body", "except"),
+        ("try_body", "after_try"),
+        ("except", "after_try"),
+        ("after_try", "exit"),
+    }
+
+
+def test_while_true_has_no_false_edge_and_exits_only_via_break():
+    cfg = _cfg_for(
+        "def f(q):\n"
+        "    while True:\n"
+        "        item = q.get()\n"
+        "        if item is None:\n"
+        "            break\n"
+        "    done()\n"
+    )
+    assert edge_set(cfg) == {
+        ("entry", "body"),
+        ("body", "loop_head"),
+        ("loop_head", "loop_body"),
+        ("loop_body", "cond"),
+        ("cond", "then"),
+        ("cond", "after_if"),
+        ("then", "after_loop"),
+        ("after_if", "loop_head"),
+        ("after_loop", "exit"),
+    }
+
+
+def test_return_inside_finally_scoped_try_routes_through_finally():
+    cfg = _cfg_for(
+        "def f(x):\n"
+        "    try:\n"
+        "        return use(x)\n"
+        "    finally:\n"
+        "        cleanup()\n"
+    )
+    edges = edge_set(cfg)
+    # The return instantiates the finally body on its way to exit, and the
+    # fall-through finally instance is unreachable (try body always
+    # returns) — so exactly one finally instance reaches exit.
+    finally_to_exit = {e for e in edges if e[1] == "exit" and e[0].startswith("finally")}
+    assert len(finally_to_exit) == 1
+    assert ("try_body", sorted(finally_to_exit)[0][0]) in edges
+
+
+def test_every_emitted_block_is_reachable_in_a_straight_line_function():
+    cfg = _cfg_for(
+        "def f(a):\n"
+        "    b = a + 1\n"
+        "    return b\n"
+    )
+    reachable = cfg.reachable_from_entry()
+    assert cfg.exit.id in reachable
+    # raise_exit exists but nothing routes to it in exception-free code.
+    assert cfg.raise_exit.id not in reachable
