@@ -113,8 +113,11 @@ HOT_LOOP_FILES: tuple[str, ...] = (
     "/repro/ndn/fib.py",
 )
 
-#: Determinism scope (shared with RL002/RL010).
-DETERMINISM_DIRS: tuple[str, ...] = ("/repro/sim/", "/repro/ndn/")
+#: Determinism scope (shared with RL002/RL010).  The workload generators
+#: are in scope by design: their whole value is that a trace reproduces
+#: from (seed, spec) alone, so wall clocks and ambient entropy are
+#: statically barred there exactly as in the engine.
+DETERMINISM_DIRS: tuple[str, ...] = ("/repro/sim/", "/repro/ndn/", "/repro/workload/")
 DETERMINISM_EXEMPT_FILES: tuple[str, ...] = ("/repro/sim/rng.py",)
 
 #: The codec itself implements decode; its internals are not sinks.

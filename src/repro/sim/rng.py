@@ -29,6 +29,10 @@ class SeededRNG:
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: dict[str, np.random.Generator] = {}
+        #: Normalised cumulative distributions memoised per (n, alpha) — a
+        #: Zipf draw is then one uniform plus one binary search instead of
+        #: an O(n) weight computation per sample.
+        self._zipf_cdfs: dict[tuple[int, float], np.ndarray] = {}
 
     def stream(self, name: str) -> np.random.Generator:
         """Return (creating if necessary) the generator for ``name``."""
@@ -76,6 +80,62 @@ class SeededRNG:
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"probability must lie in [0, 1], got {p}")
         return bool(self.stream(stream).random() < p)
+
+    def zipf(self, n: int, alpha: float, stream: str = "default") -> int:
+        """A 0-based rank drawn from a truncated Zipf(``alpha``) over ``n`` items.
+
+        Rank ``k`` (0-based) is drawn with probability proportional to
+        ``(k + 1) ** -alpha``; ``alpha = 0`` degenerates to uniform.  The
+        normalised CDF is memoised per ``(n, alpha)`` so repeated draws —
+        the workload-generator hot path — cost one uniform variate and one
+        binary search each.
+        """
+        if n < 1:
+            raise ValueError(f"zipf needs a catalog of >= 1 items, got n={n}")
+        if alpha < 0.0:
+            raise ValueError(f"zipf exponent must be >= 0, got {alpha}")
+        key = (int(n), float(alpha))
+        cdf = self._zipf_cdfs.get(key)
+        if cdf is None:
+            weights = np.arange(1, n + 1, dtype=np.float64) ** -float(alpha)
+            cdf = np.cumsum(weights)
+            cdf /= cdf[-1]
+            self._zipf_cdfs[key] = cdf
+        u = self.stream(stream).random()
+        return int(np.searchsorted(cdf, u, side="right"))
+
+    def weighted_choice(
+        self,
+        options: Sequence[T],
+        weights: Sequence[float],
+        stream: str = "default",
+    ) -> T:
+        """Choose from ``options`` with probability proportional to ``weights``.
+
+        Weights must be non-negative with a positive sum; they need not be
+        normalised.  A zero-weight option is never chosen.
+        """
+        if not options:
+            raise ValueError("cannot choose from an empty sequence")
+        if len(weights) != len(options):
+            raise ValueError(
+                f"got {len(options)} options but {len(weights)} weights"
+            )
+        total = 0.0
+        for weight in weights:
+            if weight < 0.0:
+                raise ValueError(f"weights must be >= 0, got {weight}")
+            total += weight
+        if total <= 0.0:
+            raise ValueError("weights must sum to a positive value")
+        u = self.stream(stream).random() * total
+        acc = 0.0
+        for option, weight in zip(options, weights):
+            acc += weight
+            if u < acc:
+                return option
+        # Float accumulation can land u a hair past the final edge.
+        return options[-1]
 
     def spawn(self, name: str) -> "SeededRNG":
         """Derive a child RNG whose streams are independent of the parent's."""

@@ -236,6 +236,156 @@ def _streaming_soak_builder(env, shard_id, num_shards):
     return forwarder
 
 
+class TestFlashCrowdSoak:
+    """A flash-crowd spike (seeded workload model) through a sharded node
+    with the dispatcher hot cache on: the spike is absorbed by the cache,
+    a producer re-install mid-spike never lets a stale frame out, and the
+    node comes out leak-free with exact frame ledgers."""
+
+    FC_TENANTS = [f"/fc{i}" for i in range(8)]
+
+    def _install_producers(self, node, state: dict):
+        """Attach one producer per tenant whose replies follow ``state``
+        live (version bytes + freshness), so a mid-run re-install only has
+        to flip the box and re-attach: every producer face — old or new —
+        answers with the current version."""
+        for tenant in self.FC_TENANTS:
+            def handler(interest, _tenant=tenant, _state=state):
+                version, freshness = _state["version"], _state["freshness"]
+                return Data(
+                    name=interest.name,
+                    content=version + _tenant.encode(),
+                    freshness_period=freshness,
+                ).sign()
+            node.attach_producer(tenant, handler)
+
+    def _spike_spec(self, label: str, catalog, must_be_fresh: bool):
+        from repro.workload import (
+            FlashCrowdArrivals,
+            SpikeWindow,
+            WorkloadSpec,
+            ZipfPopularity,
+        )
+
+        return WorkloadSpec(
+            label=label,
+            popularity=ZipfPopularity(
+                alpha=1.4, catalog=catalog, stream=f"pop:{label}"
+            ),
+            arrivals=FlashCrowdArrivals(
+                100.0,
+                [SpikeWindow(start_s=0.2, duration_s=1.0, multiplier=10.0)],
+                stream=f"arr:{label}",
+            ),
+            requests=500,
+            must_be_fresh=must_be_fresh,
+        )
+
+    def test_spike_with_mid_spike_reinstall_stays_coherent_and_clean(self, env):
+        from repro.sim.rng import SeededRNG
+        from repro.workload import WorkloadDriver, make_catalog
+
+        catalog = make_catalog(32, tenants=self.FC_TENANTS)
+        node = ShardedForwarder(
+            env, name="flash", shards=2, cs_capacity=256, hot_cache=128
+        )
+        # v1 content with a short freshness window: once the re-install
+        # gap below has elapsed, nothing may legally serve v1 again.
+        state = {"version": b"v1:", "freshness": 0.5}
+        self._install_producers(node, state)
+        decodes_before = WirePacket.wire_decodes
+        rng = SeededRNG(20260808)
+
+        # ---- spike, first half: the hot cache absorbs the crowd.
+        phase1_contents: list[bytes] = []
+        driver1 = WorkloadDriver(
+            env, node, self._spike_spec("spike-1", catalog, must_be_fresh=False),
+            rng=rng.spawn("phase-1"),
+            on_data=lambda record, data: phase1_contents.append(bytes(data.content)),
+        )
+        report1 = driver1.run()
+        assert report1.satisfied == report1.requests
+        assert all(content.startswith(b"v1:") for content in phase1_contents)
+        hot = node.hot_cache
+        assert hot is not None
+        # A skewed crowd over 32 names: the overwhelming majority of the
+        # spike never reaches a shard.
+        assert hot.hits > report1.requests // 2
+        assert node.pit_entries() == 0
+
+        # ---- mid-spike producer re-install: new content, long freshness.
+        state["version"], state["freshness"] = b"v2:", 3600.0
+        self._install_producers(node, state)
+        assert hot.invalidations >= len(self.FC_TENANTS)
+        # Let every v1 copy (shard CS and consumer-side) go stale.
+        env.run(until=env.now + 0.6)
+
+        # ---- spike, second half: MustBeFresh traffic — stale v1 cannot
+        # be served by any tier, so every answer must be v2.
+        phase2_contents: list[bytes] = []
+        hot_hits_before_phase2 = hot.hits
+        driver2 = WorkloadDriver(
+            env, node, self._spike_spec("spike-2", catalog, must_be_fresh=True),
+            rng=rng.spawn("phase-2"),
+            on_data=lambda record, data: phase2_contents.append(bytes(data.content)),
+        )
+        report2 = driver2.run()
+        assert report2.satisfied == report2.requests
+        assert all(content.startswith(b"v2:") for content in phase2_contents), (
+            "stale pre-reinstall content served after producer re-install"
+        )
+        # The cache re-engaged on the new version: the second half of the
+        # crowd is absorbed at the dispatcher again, serving v2 frames.
+        assert hot.hits - hot_hits_before_phase2 > report2.requests // 2
+
+        # ---- zero leaks, exact ledgers.
+        total = report1.satisfied + report2.satisfied
+        assert node.pit_entries() == 0
+        assert driver1.consumer.pending_count() == 0
+        assert driver2.consumer.pending_count() == 0
+        # One decode per delivered Data (the consumer endpoint), nothing
+        # in transit ever materialised a packet.
+        assert WirePacket.wire_decodes - decodes_before == total
+        used_shards = set()
+        for (_ext_id, shard_index), counters in node.boundary_stats().items():
+            dispatcher, shard = counters["dispatcher"], counters["shard"]
+            assert dispatcher["bytes_out"] == shard["bytes_in"]
+            assert shard["bytes_out"] == dispatcher["bytes_in"]
+            assert dispatcher["interests_out"] == shard["interests_in"]
+            assert shard["data_out"] == dispatcher["data_in"]
+            assert dispatcher["drops"] == 0 and shard["drops"] == 0
+            if shard["bytes_in"] > 0:
+                used_shards.add(shard_index)
+        assert used_shards == {0, 1}
+
+    def test_identical_seed_reproduces_the_same_spike(self, env):
+        """The soak's workload is itself deterministic: a fresh node and
+        driver at the same seed produce the identical request trace."""
+        from repro.sim.rng import SeededRNG
+        from repro.workload import WorkloadDriver, make_catalog
+
+        catalog = make_catalog(32, tenants=self.FC_TENANTS)
+
+        def run_spike():
+            local_env = Environment()
+            node = ShardedForwarder(
+                local_env, name="det-flash", shards=2,
+                cs_capacity=256, hot_cache=128,
+            )
+            self._install_producers(node, {"version": b"v1:", "freshness": 3600.0})
+            driver = WorkloadDriver(
+                local_env, node,
+                self._spike_spec("det", catalog, must_be_fresh=False),
+                rng=SeededRNG(31337).spawn("soak"),
+            )
+            report = driver.run()
+            return report.trace_hash, report.cache
+
+        (hash_a, cache_a), (hash_b, cache_b) = run_spike(), run_spike()
+        assert hash_a == hash_b
+        assert cache_a == cache_b
+
+
 class TestShardedGatewaySoak:
     def test_two_shard_cluster_serves_compute_and_status(self, env):
         """The LIDC stack on a 2-shard gateway: jobs accepted, status

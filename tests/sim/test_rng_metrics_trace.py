@@ -62,6 +62,72 @@ class TestSeededRNG:
         assert child1.uniform(0, 1) == child2.uniform(0, 1)
         assert parent.uniform(0, 1) != child1.uniform(0, 1)
 
+    def test_zipf_bounds_and_determinism(self):
+        rng = SeededRNG(9)
+        draws = [rng.zipf(10, 1.2) for _ in range(500)]
+        assert all(0 <= d < 10 for d in draws)
+        again = SeededRNG(9)
+        assert draws == [again.zipf(10, 1.2) for _ in range(500)]
+
+    def test_zipf_is_rank_skewed(self):
+        rng = SeededRNG(10)
+        counts = [0] * 8
+        for _ in range(8000):
+            counts[rng.zipf(8, 1.5)] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > 3 * counts[-1]
+
+    def test_zipf_alpha_zero_is_uniform_and_n_one_is_constant(self, rng):
+        assert {rng.zipf(1, 2.0) for _ in range(20)} == {0}
+        counts = [0] * 4
+        for _ in range(8000):
+            counts[rng.zipf(4, 0.0)] += 1
+        assert min(counts) > 1700  # expected 2000 each
+
+    def test_zipf_validates_inputs(self, rng):
+        with pytest.raises(ValueError):
+            rng.zipf(0, 1.0)
+        with pytest.raises(ValueError):
+            rng.zipf(10, -0.5)
+
+    def test_zipf_cdf_memo_does_not_change_the_draw_sequence(self):
+        """Interleaving (n, alpha) pairs reuses memoised CDFs without
+        perturbing the stream's underlying uniform sequence."""
+        a = SeededRNG(11)
+        interleaved = [a.zipf(10, 1.0), a.zipf(20, 0.8), a.zipf(10, 1.0)]
+        b = SeededRNG(11)
+        again = [b.zipf(10, 1.0), b.zipf(20, 0.8), b.zipf(10, 1.0)]
+        assert interleaved == again
+
+    def test_weighted_choice_respects_weights(self, rng):
+        counts = {"a": 0, "b": 0, "c": 0}
+        for _ in range(9000):
+            counts[rng.weighted_choice(["a", "b", "c"], [6.0, 3.0, 1.0])] += 1
+        assert counts["a"] > counts["b"] > counts["c"]
+        assert abs(counts["a"] - 5400) < 300  # 4 sigma ~ 190
+
+    def test_weighted_choice_zero_weight_is_never_chosen(self, rng):
+        for _ in range(200):
+            assert rng.weighted_choice(["x", "y"], [0.0, 1.0]) == "y"
+
+    def test_weighted_choice_validates_inputs(self, rng):
+        with pytest.raises(ValueError):
+            rng.weighted_choice([], [])
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a", "b"], [1.0, -0.5])
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a", "b"], [0.0, 0.0])
+
+    def test_weighted_choice_is_deterministic(self):
+        options = list("abcdef")
+        weights = [1, 5, 2, 8, 3, 1]
+        rng1, rng2 = SeededRNG(13), SeededRNG(13)
+        seq1 = [rng1.weighted_choice(options, weights) for _ in range(100)]
+        seq2 = [rng2.weighted_choice(options, weights) for _ in range(100)]
+        assert seq1 == seq2
+
 
 class TestMetrics:
     def test_counter_increments(self):

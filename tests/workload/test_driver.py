@@ -1,0 +1,179 @@
+"""Behavioural tests for the workload drivers (data and service plane)."""
+
+import pytest
+
+from repro.core.framework import LIDCTestbed
+from repro.ndn.forwarder import Forwarder
+from repro.ndn.packet import Data
+from repro.ndn.shard import ShardedForwarder
+from repro.sim.engine import Environment
+from repro.sim.rng import SeededRNG
+from repro.workload import (
+    LIDCWorkloadDriver,
+    PoissonArrivals,
+    ScanPopularity,
+    WorkloadDriver,
+    WorkloadSpec,
+    ZipfPopularity,
+    build_trace,
+    make_catalog,
+)
+
+CATALOG = make_catalog(64)
+TENANTS = sorted({f"/{name.split('/')[1]}" for name in CATALOG})
+
+
+def _producers(node, freshness=3600.0):
+    for tenant in TENANTS:
+        def handler(interest, _tenant=tenant):
+            return Data(
+                name=interest.name, content=b"ok", freshness_period=freshness
+            ).sign()
+        node.attach_producer(tenant, handler)
+
+
+class TestWorkloadDriver:
+    def test_zipf_workload_through_a_sharded_node(self, env):
+        node = ShardedForwarder(env, name="d", shards=2, cs_capacity=1024, hot_cache=64)
+        _producers(node)
+        spec = WorkloadSpec(
+            label="zipf",
+            popularity=ZipfPopularity(alpha=1.2, catalog=CATALOG),
+            arrivals=PoissonArrivals(500.0),
+            requests=600,
+        )
+        report = WorkloadDriver(env, node, spec, rng=SeededRNG(1)).run()
+        assert report.satisfied == report.requests == 600
+        assert report.timeouts == 0 and report.nacks == 0
+        # Skewed repeats are absorbed by the dispatcher hot cache.
+        assert report.cache["hot_cache"]["hits"] > 200
+        # Both shards saw traffic (the catalog spans many tenants).
+        assert all(n > 0 for n in report.cache["shard_interests"])
+        # Clean exit: no PIT entries, no pending sessions.
+        assert node.pit_entries() == 0
+        assert report.spec["popularity"]["alpha"] == 1.2
+
+    def test_scan_workload_hits_nothing_by_construction(self, env):
+        node = ShardedForwarder(env, name="s", shards=2, cs_capacity=1024, hot_cache=64)
+        _producers(node)
+        spec = WorkloadSpec(
+            label="scan",
+            popularity=ScanPopularity(tenants=TENANTS),
+            arrivals=PoissonArrivals(500.0),
+            requests=400,
+        )
+        report = WorkloadDriver(env, node, spec, rng=SeededRNG(2)).run()
+        assert report.satisfied == 400
+        assert report.cache["hot_cache"]["hits"] == 0
+        assert sum(s["hits"] for s in report.cache["shard_cs"]) == 0
+
+    def test_plain_forwarder_reports_its_cs(self, env):
+        node = Forwarder(env, name="plain", cs_capacity=256)
+        _producers(node)
+        spec = WorkloadSpec(
+            label="uniform",
+            popularity=ZipfPopularity(alpha=1.5, catalog=CATALOG),
+            arrivals=PoissonArrivals(500.0),
+            requests=300,
+        )
+        report = WorkloadDriver(env, node, spec, rng=SeededRNG(3)).run()
+        assert report.satisfied == 300
+        assert report.cache["cs"]["hits"] > 0
+        assert "hot_cache" not in report.cache
+
+    def test_unanswerable_names_are_recorded_as_nacks(self, env):
+        node = ShardedForwarder(env, name="void", shards=2, cs_capacity=0)
+        # No producers: everything NACKs with NO_ROUTE.
+        spec = WorkloadSpec(
+            label="void",
+            popularity=ZipfPopularity(alpha=1.0, catalog=CATALOG),
+            arrivals=PoissonArrivals(500.0),
+            requests=50,
+            lifetime_s=1.0,
+        )
+        report = WorkloadDriver(env, node, spec, rng=SeededRNG(4)).run()
+        assert report.satisfied == 0
+        assert report.nacks == 50
+        assert node.pit_entries() == 0
+
+    def test_horizon_truncates_the_trace(self):
+        spec = WorkloadSpec(
+            label="short",
+            popularity=ZipfPopularity(alpha=1.0, catalog=CATALOG),
+            arrivals=PoissonArrivals(100.0),
+            requests=10_000,
+            horizon_s=2.0,
+        )
+        trace = build_trace(spec, SeededRNG(5))
+        assert len(trace) < 10_000
+        assert all(record.t <= 2.0 for record in trace)
+        # ~200 expected at 100/s over 2s.
+        assert 120 < len(trace) < 280
+
+    def test_on_data_hook_sees_every_satisfied_exchange(self, env):
+        node = ShardedForwarder(env, name="h", shards=2, cs_capacity=256, hot_cache=32)
+        _producers(node)
+        seen = []
+        spec = WorkloadSpec(
+            label="hook",
+            popularity=ZipfPopularity(alpha=1.0, catalog=CATALOG),
+            arrivals=PoissonArrivals(300.0),
+            requests=100,
+        )
+        driver = WorkloadDriver(
+            env, node, spec, rng=SeededRNG(6),
+            on_data=lambda record, data: seen.append((record.name, bytes(data.content))),
+        )
+        report = driver.run()
+        assert len(seen) == report.satisfied == 100
+        assert all(content == b"ok" for _name, content in seen)
+
+    def test_validation(self):
+        spec = WorkloadSpec(
+            label="bad",
+            popularity=ZipfPopularity(alpha=1.0, catalog=CATALOG),
+            arrivals=PoissonArrivals(100.0),
+            requests=0,
+        )
+        with pytest.raises(ValueError):
+            build_trace(spec, SeededRNG(0))
+        env = Environment()
+        with pytest.raises(ValueError):
+            WorkloadDriver(env, Forwarder(env, name="x"), spec)  # no rng, no trace
+
+
+class TestLIDCWorkloadDriver:
+    def test_zipf_compute_workload_through_a_cluster(self):
+        """The service-plane path: Zipf-popular datasets submitted through
+        an LIDCClient at Poisson arrival times, deterministically."""
+        testbed = LIDCTestbed.single_cluster(seed=1)
+        datasets = [f"SRR9{i:06d}" for i in range(6)]
+        for accession in datasets:
+            testbed.registry.register_synthetic(
+                accession, "RICE", read_count=1_000_000
+            )
+        # Stay inside the single cluster's admission capacity: jobs run for
+        # simulated hours, so every submission is concurrent and the
+        # gateway congestion-NACKs anything beyond the schedulable load.
+        spec = WorkloadSpec(
+            label="lidc-zipf",
+            popularity=ZipfPopularity(alpha=1.0, catalog=datasets),
+            arrivals=PoissonArrivals(2.0),
+            requests=4,
+        )
+        driver = LIDCWorkloadDriver(
+            testbed.env, testbed.client(), spec, rng=SeededRNG(10),
+            dataset_fn=lambda record: record.name,
+        )
+        summary = driver.run()
+        assert summary["submitted"] == 4
+        assert summary["accepted"] == 4
+        # Same seed, fresh testbed: identical request trace.
+        repeat = LIDCWorkloadDriver(
+            LIDCTestbed.single_cluster(seed=1).env, None, spec, rng=SeededRNG(10),
+            dataset_fn=lambda record: record.name,
+        )
+        assert repeat.trace_hash == summary["trace_hash"]
+        assert [r.dataset for r in repeat.requests] == [
+            r.dataset for r in driver.requests
+        ]
