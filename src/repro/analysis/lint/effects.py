@@ -116,8 +116,16 @@ HOT_LOOP_FILES: tuple[str, ...] = (
 #: Determinism scope (shared with RL002/RL010).  The workload generators
 #: are in scope by design: their whole value is that a trace reproduces
 #: from (seed, spec) alone, so wall clocks and ambient entropy are
-#: statically barred there exactly as in the engine.
-DETERMINISM_DIRS: tuple[str, ...] = ("/repro/sim/", "/repro/ndn/", "/repro/workload/")
+#: statically barred there exactly as in the engine.  The chaos layer is
+#: held to the same bar: a fault schedule must replay bit-identically
+#: from (seed, spec), so its generators and driver get no ambient entropy
+#: either.
+DETERMINISM_DIRS: tuple[str, ...] = (
+    "/repro/sim/",
+    "/repro/ndn/",
+    "/repro/workload/",
+    "/repro/chaos/",
+)
 DETERMINISM_EXEMPT_FILES: tuple[str, ...] = ("/repro/sim/rng.py",)
 
 #: The codec itself implements decode; its internals are not sinks.

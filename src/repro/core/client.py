@@ -35,12 +35,12 @@ from typing import Iterable, Optional, Sequence
 from repro.core import naming
 from repro.core.spec import ComputeRequest, JobState
 from repro.exceptions import InterestNacked, InterestTimeout, LIDCError, ProcessInterrupt
-from repro.ndn.client import Consumer
+from repro.ndn.client import Consumer, RetryPolicy
 from repro.ndn.forwarder import Forwarder
 from repro.ndn.name import Name
 from repro.sim.engine import Environment, Event
 
-__all__ = ["SubmissionResult", "JobOutcome", "JobHandle", "LIDCClient"]
+__all__ = ["SubmissionResult", "JobOutcome", "JobHandle", "LIDCClient", "RetryPolicy"]
 
 #: Default cap on the interval between status Interests, in simulated seconds.
 #: Tracking starts at :data:`DEFAULT_INITIAL_POLL_S` and backs off
@@ -128,6 +128,8 @@ class JobHandle:
         fetch_result: bool = False,
         poll_interval_s: Optional[float] = None,
         delay_s: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        deadline_s: Optional[float] = None,
     ) -> None:
         self.handle_id = next(self._id_counter)
         self.client = client
@@ -137,6 +139,12 @@ class JobHandle:
         self.fetch_result = fetch_result
         self.poll_interval_s = poll_interval_s
         self.delay_s = delay_s
+        #: Per-exchange self-healing policy (falls back to the client's).
+        self.retry_policy = retry_policy
+        #: Whole-job budget in simulated seconds, counted from submission;
+        #: when exceeded the session resolves to a FAILED outcome.
+        self.deadline_s = deadline_s
+        self.deadline_exceeded = False
         #: Protocol timestamps, shared with the outcome's timeline.
         self.timeline: dict[str, float] = {}
         self.job_id: Optional[str] = None
@@ -251,6 +259,7 @@ class LIDCClient:
         poll_backoff: float = DEFAULT_POLL_BACKOFF,
         lifetime_s: float = DEFAULT_LIFETIME_S,
         retries: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.env = env
         self.name = name or f"lidc-client-{next(self._instance_counter)}"
@@ -259,6 +268,11 @@ class LIDCClient:
         self.poll_backoff = max(1.0, poll_backoff)
         self.lifetime_s = lifetime_s
         self.retries = retries
+        #: Client-wide self-healing policy for every control-plane exchange
+        #: (submission ack, status tracking, result retrieval); per-handle
+        #: policies override it.  None keeps the legacy fixed-interval
+        #: retransmission driven by ``retries``.
+        self.retry_policy = retry_policy
         self.consumer = Consumer(env, forwarder, name=self.name)
         self._request_counter = itertools.count(1)
         self.submissions = 0
@@ -274,7 +288,8 @@ class LIDCClient:
         params["req"] = f"{self.name}-{next(self._request_counter)}"
         return naming.compute_name(params)
 
-    def submit_interest(self, request: ComputeRequest, unique: bool = True):
+    def submit_interest(self, request: ComputeRequest, unique: bool = True,
+                        retry_policy: Optional[RetryPolicy] = None):
         """Process generator: express one compute Interest; returns a
         :class:`SubmissionResult` (the raw ack exchange, no status tracking).
 
@@ -287,7 +302,9 @@ class LIDCClient:
         self.submissions += 1
         try:
             data = yield self.consumer.express_interest(
-                name, lifetime=self.lifetime_s, retries=self.retries, must_be_fresh=True
+                name, lifetime=self.lifetime_s, retries=self.retries,
+                must_be_fresh=True,
+                retry_policy=retry_policy if retry_policy is not None else self.retry_policy,
             )
         except (InterestTimeout, InterestNacked) as exc:
             return SubmissionResult(
@@ -318,24 +335,42 @@ class LIDCClient:
         fetch_result: bool = False,
         poll_interval_s: Optional[float] = None,
         delay_s: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        deadline_s: Optional[float] = None,
     ) -> JobHandle:
         """Submit a computation and return a :class:`JobHandle` immediately.
 
         The handle's lifecycle runs as a background process; the calling
         code decides when (and whether) to wait on ``handle.done``.
+        ``deadline_s`` bounds the whole session: a job not terminal within
+        the budget resolves to a FAILED outcome (typed, never a hang).
         """
         handle = JobHandle(
             self, request,
             done=self.env.event(name=f"job:{request.app}"),
             unique=unique, fetch_result=fetch_result,
             poll_interval_s=poll_interval_s, delay_s=delay_s,
+            retry_policy=retry_policy, deadline_s=deadline_s,
         )
         self._in_flight.add(handle)
         self.max_in_flight = max(self.max_in_flight, len(self._in_flight))
         handle._process = self.env.process(
             self._drive(handle), name=f"job-session:{handle.handle_id}"
         )
+        if deadline_s is not None:
+            self.env.process(
+                self._deadline_watch(handle), name=f"job-deadline:{handle.handle_id}"
+            )
         return handle
+
+    def _deadline_watch(self, handle: JobHandle):
+        """Background process enforcing a handle's whole-job deadline."""
+        yield self.env.timeout(handle.delay_s + (handle.deadline_s or 0.0))
+        if not handle.finished and handle._process is not None and handle._process.is_alive:
+            handle.deadline_exceeded = True
+            handle._process.interrupt(
+                f"job deadline of {handle.deadline_s}s exceeded"
+            )
 
     def submit_many(
         self,
@@ -416,7 +451,9 @@ class LIDCClient:
         if handle.delay_s > 0:
             yield self.env.timeout(handle.delay_s)
         timeline["submitted"] = self.env.now
-        submission = yield from self.submit_interest(handle.request, unique=handle.unique)
+        submission = yield from self.submit_interest(
+            handle.request, unique=handle.unique, retry_policy=handle.retry_policy
+        )
         timeline["acknowledged"] = self.env.now
         handle._submission = submission
         outcome = JobOutcome(request=handle.request, submission=submission, timeline=timeline)
@@ -483,13 +520,15 @@ class LIDCClient:
 
     # ------------------------------------------------------------------ status
 
-    def poll_status(self, job_id: str, lifetime_s: Optional[float] = None):
+    def poll_status(self, job_id: str, lifetime_s: Optional[float] = None,
+                    retry_policy: Optional[RetryPolicy] = None):
         """Process generator: one status exchange; returns the status payload dict."""
         name = naming.status_name(job_id)
         data = yield self.consumer.express_interest(
             name,
             lifetime=lifetime_s if lifetime_s is not None else self.lifetime_s,
             must_be_fresh=True, retries=self.retries,
+            retry_policy=retry_policy if retry_policy is not None else self.retry_policy,
         )
         return json.loads(data.content_text())
 
@@ -511,7 +550,8 @@ class LIDCClient:
             # interval so a slow gateway has the whole window to answer before
             # the exchange counts as a timeout.
             payload = yield from self.poll_status(
-                job_id, lifetime_s=max(self.lifetime_s, interval))
+                job_id, lifetime_s=max(self.lifetime_s, interval),
+                retry_policy=_handle.retry_policy if _handle is not None else None)
             polls += 1
             state = JobState(payload.get("state", JobState.FAILED.value))
             if _handle is not None:
@@ -535,7 +575,8 @@ class LIDCClient:
         """
         result_name = Name(result_name)
         manifest_data = yield self.consumer.express_interest(
-            result_name, lifetime=self.lifetime_s, retries=self.retries
+            result_name, lifetime=self.lifetime_s, retries=self.retries,
+            retry_policy=self.retry_policy,
         )
         manifest = json.loads(manifest_data.content_text())
         payload: Optional[bytes] = None

@@ -123,16 +123,75 @@ class ComputeOverlay:
     def _disconnect_all(self, name: str) -> None:
         for (a, b), (face_a, face_b) in list(self._faces.items()):
             if name in (a, b):
-                face_a.close()
-                face_b.close()
-                # Remove the routes that pointed over these faces.
-                self._forwarder_of(a).fib.remove_face(face_a.face_id)
-                self._forwarder_of(b).fib.remove_face(face_b.face_id)
+                # Full forwarder-level removal (not just a face close): each
+                # side purges its FIB *and* resolves the PIT entries whose
+                # upstream just vanished — retrying over surviving routes or
+                # Nacking the consumer (NoRoute) so nothing waits out a
+                # lifetime against a dead link.
+                self._forwarder_of(a).remove_face(face_a.face_id)
+                self._forwarder_of(b).remove_face(face_b.face_id)
                 daemon_a, daemon_b = self._daemon_of(a), self._daemon_of(b)
                 daemon_a.remove_adjacency(b)
                 daemon_b.remove_adjacency(a)
                 del self._faces[(a, b)]
         self._links = [link for link in self._links if name not in (link.a, link.b)]
+
+    # ------------------------------------------------------------------ link faults
+
+    def _link_faces(self, a: str, b: str) -> tuple[Face, Face]:
+        pair = self._faces.get((a, b)) or self._faces.get((b, a))
+        if pair is None:
+            raise OverlayError(f"no overlay link between {a!r} and {b!r}")
+        return pair
+
+    def set_link_state(self, a: str, b: str, up: bool) -> None:
+        """Mark both ends of the ``a``–``b`` link up or down.
+
+        A downed link silently drops traffic in both directions (counted in
+        each face's ``stats.drops``) without tearing down routes — the
+        flapping-WAN failure mode, distinct from :meth:`fail_cluster`'s
+        clean removal.  Recovery is the same toggle back up.
+        """
+        face_a, face_b = self._link_faces(a, b)
+        face_a.up = up
+        face_b.up = up
+        self.tracer.record(
+            "overlay", "link-up" if up else "link-down", a=a, b=b
+        )
+
+    def fail_link(self, a: str, b: str) -> None:
+        self.set_link_state(a, b, up=False)
+
+    def heal_link(self, a: str, b: str) -> None:
+        self.set_link_state(a, b, up=True)
+
+    def link_up(self, a: str, b: str) -> bool:
+        face_a, face_b = self._link_faces(a, b)
+        return face_a.up and face_b.up
+
+    def isolate(self, name: str) -> list[tuple[str, str]]:
+        """Partition ``name`` from the overlay: down every link it touches.
+
+        Returns the downed links so :meth:`rejoin` (or a chaos driver's
+        heal event) can restore exactly the same cut.
+        """
+        if name not in self.clusters and name not in self.routers:
+            raise OverlayError(f"unknown overlay node {name!r}")
+        cut = [key for key in self._faces if name in key]
+        for a, b in cut:
+            self.set_link_state(a, b, up=False)
+        self.tracer.record("overlay", "partitioned", node=name, links=len(cut))
+        return cut
+
+    def rejoin(self, name: str) -> list[tuple[str, str]]:
+        """Heal a partition: bring every link touching ``name`` back up."""
+        if name not in self.clusters and name not in self.routers:
+            raise OverlayError(f"unknown overlay node {name!r}")
+        healed = [key for key in self._faces if name in key]
+        for a, b in healed:
+            self.set_link_state(a, b, up=True)
+        self.tracer.record("overlay", "rejoined", node=name, links=len(healed))
+        return healed
 
     # ------------------------------------------------------------------ wiring
 

@@ -23,8 +23,47 @@ from repro.ndn.security import DigestSigner, HmacSigner
 from repro.ndn.segmentation import reassemble, segment_content
 from repro.ndn.tlv import TlvTypes
 from repro.sim.engine import Environment, Event
+from repro.sim.rng import SeededRNG
 
-__all__ = ["Consumer", "Producer", "PendingInterest"]
+__all__ = ["Consumer", "Producer", "PendingInterest", "RetryPolicy"]
+
+
+@dataclass(slots=True, frozen=True)
+class RetryPolicy:
+    """How a consumer self-heals one Interest exchange.
+
+    Retransmissions back off exponentially from ``initial_backoff_s`` by
+    ``multiplier`` up to ``max_backoff_s``, with a uniform jitter of up to
+    ``jitter`` x the current backoff drawn from the consumer's seeded RNG
+    ("retry-jitter" stream) — deterministic under a fixed seed, decorrelated
+    across concurrent sessions.  ``deadline_s`` bounds the whole exchange
+    (first transmission to final verdict); once the budget is spent the
+    exchange fails even if retries remain.  ``retry_nacks`` additionally
+    retransmits on retriable Nacks (NoRoute / Congestion — transient
+    routing states) instead of failing on first refusal.
+    """
+
+    max_retries: int = 3
+    initial_backoff_s: float = 0.0
+    multiplier: float = 2.0
+    max_backoff_s: float = 30.0
+    jitter: float = 0.0
+    deadline_s: Optional[float] = None
+    retry_nacks: bool = False
+    retriable_reasons: tuple = (NackReason.NO_ROUTE, NackReason.CONGESTION)
+
+    def backoff_s(self, attempt: int, rng: Optional[SeededRNG] = None) -> float:
+        """Backoff before retransmission number ``attempt`` (1-based)."""
+        if self.initial_backoff_s <= 0.0:
+            return 0.0
+        base = self.initial_backoff_s * (self.multiplier ** max(0, attempt - 1))
+        base = min(base, self.max_backoff_s)
+        if self.jitter > 0.0 and rng is not None:
+            base += rng.uniform(0.0, self.jitter * base, stream="retry-jitter")
+        return base
+
+    def should_retry_nack(self, reason: int) -> bool:
+        return self.retry_nacks and reason in self.retriable_reasons
 
 
 @dataclass(slots=True)
@@ -41,6 +80,16 @@ class PendingInterest:
     retries_left: int = 0
     attempts: int = 1
     satisfied: bool = field(default=False)
+    #: Retry policy governing this exchange (None = legacy fixed-interval
+    #: retransmission driven purely by ``retries_left``).
+    policy: Optional[RetryPolicy] = None
+    #: Time of the first transmission (the deadline budget anchor).
+    first_sent_at: float = 0.0
+    #: Per-cycle wake event: a retriable Nack triggers it so the watchdog
+    #: retransmits immediately instead of waiting out the lifetime.
+    wake: Optional[Event] = None
+    #: Reason code of the most recent Nack (for the final typed error).
+    nack_reason: Optional[int] = None
 
 
 class Consumer:
@@ -56,10 +105,14 @@ class Consumer:
         forwarder: Forwarder,
         name: str = "consumer",
         link=None,
+        rng: Optional[SeededRNG] = None,
     ) -> None:
         self.env = env
         self.name = name
         self.forwarder = forwarder
+        #: Entropy for retry jitter; seeded from the consumer name so two
+        #: consumers never share a jitter sequence yet replays are exact.
+        self._rng = rng or SeededRNG(sum(name.encode("utf-8")))
         self._pending: dict[Name, list[PendingInterest]] = {}
         #: Number of in-flight Interests with ``can_be_prefix``; kept so the
         #: Data path can skip the full prefix scan when (as is typical for
@@ -109,12 +162,19 @@ class Consumer:
         must_be_fresh: bool = False,
         retries: int = 0,
         application_parameters: bytes = b"",
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> Event:
         """Send an Interest; returns an event completing with the Data.
 
         The event fails with :class:`InterestTimeout` if no Data arrives
         within the Interest lifetime (after ``retries`` retransmissions) or
         with :class:`InterestNacked` if the network rejects it.
+
+        ``retry_policy`` upgrades the legacy fixed-interval retransmission:
+        it supplies the retry budget (overriding ``retries``), adds jittered
+        exponential backoff between retransmissions, bounds the whole
+        exchange with a deadline, and optionally retransmits on retriable
+        Nacks instead of failing on first refusal.
         """
         if isinstance(name, Interest):
             interest = name
@@ -131,11 +191,17 @@ class Consumer:
             interest=interest,
             completion=completion,
             sent_at=self.env.now,
-            retries_left=retries,
+            retries_left=retry_policy.max_retries if retry_policy is not None else retries,
+            policy=retry_policy,
+            first_sent_at=self.env.now,
         )
         self._pending.setdefault(interest.name, []).append(pending)
         if interest.can_be_prefix:
             self._prefix_pending += 1
+        # The wake event exists before the first transmission: a Nack that
+        # comes back synchronously (zero-delay local faces) must still be
+        # able to trip the watchdog's first cycle.
+        pending.wake = self.env.event(name=f"retry:{interest.name}")
         self._send(pending)
         self.env.process(self._watchdog(pending), name=f"watchdog:{interest.name}")
         return completion
@@ -144,30 +210,73 @@ class Consumer:
         self.interests_sent += 1
         self.face.send(pending.interest)
 
-    def _watchdog(self, pending: PendingInterest):
-        while True:
-            yield self.env.timeout(pending.interest.lifetime)
-            if pending.satisfied or pending.completion.triggered:
-                return
-            if pending.retries_left > 0:
-                pending.retries_left -= 1
-                pending.attempts += 1
-                # Re-express with a fresh nonce so it is not treated as a loop.
-                pending.interest = Interest(
-                    name=pending.interest.name,
-                    can_be_prefix=pending.interest.can_be_prefix,
-                    must_be_fresh=pending.interest.must_be_fresh,
-                    lifetime=pending.interest.lifetime,
-                    application_parameters=pending.interest.application_parameters,
-                )
-                self._send(pending)
-                continue
+    def _deadline_left(self, pending: PendingInterest) -> bool:
+        policy = pending.policy
+        if policy is None or policy.deadline_s is None:
+            return True
+        return (self.env.now - pending.first_sent_at) < policy.deadline_s
+
+    def _fail_pending(self, pending: PendingInterest, nacked: bool) -> None:
+        self._forget(pending)
+        if pending.completion.triggered:
+            return
+        if nacked:
+            reason = pending.nack_reason if pending.nack_reason is not None else NackReason.NONE
+            pending.completion.fail(
+                InterestNacked(pending.interest.name, NackReason.label(reason))
+            )
+        else:
             self.timeouts += 1
-            self._forget(pending)
             pending.completion.fail(
                 InterestTimeout(pending.interest.name, pending.interest.lifetime)
             )
-            return
+
+    def _watchdog(self, pending: PendingInterest):
+        while True:
+            if pending.wake is None:  # pragma: no cover - armed at express time
+                pending.wake = self.env.event(name=f"retry:{pending.interest.name}")
+            if not pending.wake.triggered:
+                # A wake already tripped (a Nack delivered synchronously,
+                # before this cycle started) falls straight through to the
+                # retry logic instead of being discarded.
+                yield self.env.any_of(
+                    [self.env.timeout(pending.interest.lifetime), pending.wake]
+                )
+            if pending.satisfied or pending.completion.triggered:
+                return
+            nacked = pending.wake.triggered
+            if pending.retries_left <= 0 or not self._deadline_left(pending):
+                self._fail_pending(pending, nacked)
+                return
+            pending.retries_left -= 1
+            pending.attempts += 1
+            policy = pending.policy
+            if policy is not None:
+                backoff = policy.backoff_s(pending.attempts - 1, self._rng)
+                if backoff > 0.0:
+                    if policy.deadline_s is not None and (
+                        self.env.now + backoff
+                        >= pending.first_sent_at + policy.deadline_s
+                    ):
+                        # The backoff alone would blow the budget: give the
+                        # caller its typed verdict now instead of later.
+                        self._fail_pending(pending, nacked)
+                        return
+                    yield self.env.timeout(backoff)
+                    if pending.satisfied or pending.completion.triggered:
+                        return
+            # Re-express with a fresh nonce so it is not treated as a loop;
+            # re-arm the wake first so a synchronous Nack lands on the new
+            # cycle, not the consumed event.
+            pending.interest = Interest(
+                name=pending.interest.name,
+                can_be_prefix=pending.interest.can_be_prefix,
+                must_be_fresh=pending.interest.must_be_fresh,
+                lifetime=pending.interest.lifetime,
+                application_parameters=pending.interest.application_parameters,
+            )
+            pending.wake = self.env.event(name=f"retry:{pending.interest.name}")
+            self._send(pending)
 
     def _forget(self, pending: PendingInterest) -> None:
         bucket = self._pending.get(pending.interest.name, [])
@@ -210,13 +319,27 @@ class Consumer:
 
     def _on_nack(self, nack: "Nack | WirePacket") -> None:
         self.nacks_received += 1
+        reason = nack.reason
         bucket = list(self._pending.get(nack.name, []))
         for pending in bucket:
+            policy = pending.policy
+            if (
+                policy is not None
+                and policy.should_retry_nack(reason)
+                and pending.retries_left > 0
+                and self._deadline_left(pending)
+            ):
+                # Self-healing path: wake the watchdog to retransmit (with
+                # backoff) instead of failing the exchange on first refusal.
+                pending.nack_reason = reason
+                if pending.wake is not None and not pending.wake.triggered:
+                    pending.wake.succeed(reason)
+                continue
             pending.satisfied = True
             self._forget(pending)
             if not pending.completion.triggered:
                 pending.completion.fail(
-                    InterestNacked(nack.name, NackReason.label(nack.reason))
+                    InterestNacked(nack.name, NackReason.label(reason))
                 )
 
     # -- higher-level fetch helpers -----------------------------------------------

@@ -126,6 +126,10 @@ class ContentStore:
     def __contains__(self, name: "Name | str") -> bool:
         return as_name(name) in self._entries
 
+    def names(self) -> list[Name]:
+        """Every cached name, in eviction order (control-plane sweeps only)."""
+        return list(self._entries.keys())
+
     # -- capacity ------------------------------------------------------------
 
     @property

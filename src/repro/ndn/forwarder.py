@@ -36,7 +36,7 @@ from repro.ndn.fib import Fib
 from repro.ndn.name import Name
 from repro.ndn.nametree import as_name
 from repro.ndn.packet import InterestLike, NackReason, WirePacket
-from repro.ndn.pit import PendingInterestTable
+from repro.ndn.pit import PendingInterestTable, PitEntry
 from repro.ndn.strategy import Strategy, StrategyChoiceTable
 from repro.ndn.tlv import TlvTypes
 from repro.sim.engine import Environment
@@ -100,11 +100,60 @@ class Forwarder:
         return face_id
 
     def remove_face(self, face_id: int) -> None:
-        """Detach a face and purge it from the FIB."""
+        """Detach a face and purge it from the FIB.
+
+        Pending Interests that were forwarded (only) over the removed face
+        are not left to time out: each is re-forwarded over an alternative
+        next hop when the FIB still has one, and otherwise its downstreams
+        are Nacked with ``NoRoute`` and the entry is dropped.
+        """
         face = self._faces.pop(face_id, None)
         if face is not None:
             face.close()
         self.fib.remove_face(face_id)
+        self._on_face_removed(face_id)
+
+    def _on_face_removed(self, face_id: int) -> None:
+        """Rescue or reject PIT entries whose upstream path just vanished."""
+        for entry in self.pit.entries():
+            record = entry.out_records.pop(face_id, None)
+            if record is None:
+                continue  # this entry never went upstream over the dead face
+            if entry.out_records:
+                continue  # another upstream transmission is still in flight
+            interest = entry.interest
+            if interest is None or not entry.in_records:
+                self.pit.remove_from_key((entry.name, entry.can_be_prefix))
+                self._tried.pop(entry.name, None)
+                continue
+            # Retry through the normal pipeline: the strategy skips faces in
+            # ``_tried`` (including the one just removed) and ``_reject``
+            # Nacks the downstreams when no alternative next hop remains.
+            self._forward_interest(interest, face_id)
+
+    def abort_pending(
+        self,
+        predicate: Callable[["PitEntry"], bool],
+        reason: int = NackReason.NO_ROUTE,
+    ) -> int:
+        """Nack and drop every PIT entry matching ``predicate``.
+
+        Control-plane helper for shard rebalance and fault injection: the
+        downstream consumers get an immediate Nack (default ``NoRoute``)
+        instead of a silent timeout, so retry policies can re-route at once.
+        Returns the number of aborted entries.
+        """
+        aborted = 0
+        for entry in self.pit.entries():
+            if not predicate(entry):
+                continue
+            if entry.interest is not None:
+                self._reject(entry.interest, reason)
+            else:  # pragma: no cover - entries always carry their Interest
+                self.pit.remove_from_key((entry.name, entry.can_be_prefix))
+                self._tried.pop(entry.name, None)
+            aborted += 1
+        return aborted
 
     def face(self, face_id: int) -> Face:
         try:
@@ -316,8 +365,11 @@ class Forwarder:
             return
         # Try an alternative upstream before giving up.
         fib_entry = self.fib.lookup(interest.name)
+        strategy = self.strategies.find(interest.name)
+        # Failover-aware strategies use this to penalty-box the upstream
+        # that Nacked, steering later Interests away from it for a while.
+        strategy.note_nack(in_face.face_id, self.env.now)
         if fib_entry is not None:
-            strategy = self.strategies.find(interest.name)
             excluded = set(self._tried.get(interest.name, set()))
             excluded.update(entry.downstream_faces())
             retry = strategy.select(interest, fib_entry, in_face.face_id, tuple(excluded))

@@ -57,6 +57,10 @@ class PitEntry:
     in_records: dict[int, InRecord] = field(default_factory=dict)
     out_records: dict[int, OutRecord] = field(default_factory=dict)
     nonces: set[int] = field(default_factory=set)
+    #: The most recent Interest wire view inserted under this entry.  Kept so
+    #: control-plane cleanup (face removal, shard rebalance) can re-forward
+    #: the Interest or Nack the downstreams without re-synthesising a packet.
+    interest: Optional[InterestLike] = None
 
     def downstream_faces(self) -> list[int]:
         """Faces waiting for Data, in insertion order."""
@@ -122,6 +126,7 @@ class PendingInterestTable:
             self.aggregated += 1
         entry.in_records[in_face_id] = InRecord(face_id=in_face_id, nonce=interest.nonce, expiry=expiry)
         entry.nonces.add(interest.nonce)
+        entry.interest = interest
         self._push_expiry(key, expiry)
         return entry, is_new
 
@@ -182,6 +187,10 @@ class PendingInterestTable:
 
     def remove(self, interest: InterestLike) -> None:
         self._entries.pop(self._key(interest), None)
+
+    def remove_from_key(self, key: tuple[Name, bool]) -> None:
+        """Drop an entry by its (name, can_be_prefix) key (cleanup paths)."""
+        self._entries.pop(key, None)
 
     # -- maintenance ---------------------------------------------------------------
 

@@ -101,6 +101,7 @@ import multiprocessing.connection
 import struct
 import time
 from collections import deque
+from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
@@ -132,6 +133,7 @@ __all__ = [
     "iter_frames",
     "ShardFace",
     "ShardedForwarder",
+    "RebalanceReport",
     "ShardWorkerPool",
     "forwarder_for_node",
 ]
@@ -522,6 +524,52 @@ class _ShardedFib:
         return len(self._owner._registrations)
 
 
+@dataclass(slots=True)
+class _ProducerRecord:
+    """One attached producer: enough to re-home it during a rebalance."""
+
+    prefix: Name
+    handler: Callable[..., object]
+    delay_s: float
+    #: shard index -> the application face attached on that shard.
+    faces: dict[int, Face] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class RebalanceReport:
+    """What one :meth:`ShardedForwarder.resize` actually moved.
+
+    ``pending_aborted`` counts in-flight Interests whose shard key changed
+    owner mid-flight: each was Nacked downstream (``NoRoute``) so retry
+    policies re-route immediately — the bounded disruption of a live
+    rebalance.  Frames already acknowledged (Data egressed) are never
+    touched; the boundary ledgers stay exact across the resize.
+    """
+
+    at: float
+    old_shards: int
+    new_shards: int
+    routes_added: int = 0
+    routes_removed: int = 0
+    producers_added: int = 0
+    producers_removed: int = 0
+    pending_aborted: int = 0
+    cs_entries_dropped: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "at": self.at,
+            "old_shards": float(self.old_shards),
+            "new_shards": float(self.new_shards),
+            "routes_added": float(self.routes_added),
+            "routes_removed": float(self.routes_removed),
+            "producers_added": float(self.producers_added),
+            "producers_removed": float(self.producers_removed),
+            "pending_aborted": float(self.pending_aborted),
+            "cs_entries_dropped": float(self.cs_entries_dropped),
+        }
+
+
 class ShardedForwarder:
     """A forwarder node whose namespace is partitioned across worker shards.
 
@@ -577,6 +625,16 @@ class ShardedForwarder:
         self.num_shards = shards
         self.key_depth = key_depth
         self.partitioner = partitioner
+        # Build parameters kept verbatim so resize() can mint new shards
+        # identical to the originals.
+        self._cs_capacity = cs_capacity
+        self._cs_policy = cs_policy
+        self._cache_unsolicited = cache_unsolicited
+        self._shard_service_s = shard_service_s
+        self._shard_weights = (
+            tuple(float(weight) for weight in shard_weights)
+            if shard_weights is not None else None
+        )
         self._picker = make_shard_picker(partitioner, shards, shard_weights)
         self.tracer = tracer or Tracer(clock=lambda: env.now, enabled=False)
         self.metrics = metrics or MetricsRegistry(clock=lambda: env.now)
@@ -615,6 +673,14 @@ class ShardedForwarder:
         self._mirrors: dict[tuple[int, int], tuple[ShardFace, ShardFace]] = {}
         #: (prefix, external face id) -> shard indices the route lives on.
         self._registrations: dict[tuple[Name, int], list[int]] = {}
+        #: (prefix, external face id) -> route cost, so resize() can re-home
+        #: a registration onto a new owner at its original cost.
+        self._registration_costs: dict[tuple[Name, int], float] = {}
+        #: Attached producers, so resize() can re-home handlers live.
+        self._producers: list[_ProducerRecord] = []
+        #: Strategy choices in application order, replayed onto new shards.
+        self._strategies: list[tuple["Name | str", Strategy]] = []
+        self.rebalances: list[RebalanceReport] = []
         self.fib = _ShardedFib(self)
 
     @staticmethod
@@ -632,23 +698,28 @@ class ShardedForwarder:
         face_id = self._next_face_id
         self._next_face_id += 1
         self._faces[face_id] = face
-        for index, shard in enumerate(self.shards):
-            relay = _ShardRelay(self, face_id, index)
-            dispatcher_side = ShardFace(
-                self.env, relay,
-                label=f"{self.name}:pipe:{face_id}>shard{index}",
-                deliver_server=self._shard_servers[index],
-            )
-            shard_side = ShardFace(
-                self.env, shard,
-                label=f"{self.name}:shard{index}>pipe:{face_id}",
-            )
-            dispatcher_side.set_peer(shard_side)
-            shard_side.set_peer(dispatcher_side)
-            dispatcher_side.attach()
-            shard_side.attach()
-            self._mirrors[(face_id, index)] = (dispatcher_side, shard_side)
+        for index in range(len(self.shards)):
+            self._wire_boundary(face_id, index)
         return face_id
+
+    def _wire_boundary(self, face_id: int, index: int) -> None:
+        """Create the (dispatcher, shard) boundary pair for one mirror slot."""
+        shard = self.shards[index]
+        relay = _ShardRelay(self, face_id, index)
+        dispatcher_side = ShardFace(
+            self.env, relay,
+            label=f"{self.name}:pipe:{face_id}>shard{index}",
+            deliver_server=self._shard_servers[index],
+        )
+        shard_side = ShardFace(
+            self.env, shard,
+            label=f"{self.name}:shard{index}>pipe:{face_id}",
+        )
+        dispatcher_side.set_peer(shard_side)
+        shard_side.set_peer(dispatcher_side)
+        dispatcher_side.attach()
+        shard_side.attach()
+        self._mirrors[(face_id, index)] = (dispatcher_side, shard_side)
 
     def remove_face(self, face_id: int) -> None:
         """Detach an external face; purges its boundary pairs and routes."""
@@ -661,6 +732,7 @@ class ShardedForwarder:
                 shard.remove_face(pair[1].face_id)
         for key in [key for key in self._registrations if key[1] == face_id]:
             del self._registrations[key]
+            self._registration_costs.pop(key, None)
 
     def face(self, face_id: int) -> Face:
         try:
@@ -694,12 +766,14 @@ class ShardedForwarder:
             shard_side = self._mirrors[(ext_id, index)][1]
             self.shards[index].register_prefix(prefix, shard_side, cost)
         self._registrations[(prefix, ext_id)] = owners
+        self._registration_costs[(prefix, ext_id)] = cost
         self.tracer.record("fib", "register", prefix=prefix, face=ext_id, shards=owners)
 
     def unregister_prefix(self, prefix: "Name | str", face: "Face | int") -> bool:
         ext_id = face.face_id if isinstance(face, Face) else int(face)
         prefix = as_name(prefix)
         owners = self._registrations.pop((prefix, ext_id), None)
+        self._registration_costs.pop((prefix, ext_id), None)
         if owners is None:
             return False
         removed = False
@@ -712,6 +786,7 @@ class ShardedForwarder:
 
     def set_strategy(self, prefix: "Name | str", strategy: Strategy) -> None:
         """Choose the forwarding strategy for a namespace (on every shard)."""
+        self._strategies.append((prefix, strategy))
         for shard in self.shards:
             shard.set_strategy(prefix, strategy)
 
@@ -734,11 +809,212 @@ class ShardedForwarder:
         prefix = as_name(prefix)
         if self.hot_cache is not None:
             self.hot_cache.invalidate_under(prefix)
-        faces = [
-            self.shards[index].attach_producer(prefix, handler, delay_s)
-            for index in self._owning_shards(prefix)
-        ]
-        return faces[0]
+        owners = self._owning_shards(prefix)
+        faces = {
+            index: self.shards[index].attach_producer(prefix, handler, delay_s)
+            for index in owners
+        }
+        self._producers.append(
+            _ProducerRecord(prefix=prefix, handler=handler, delay_s=delay_s, faces=faces)
+        )
+        return faces[owners[0]]
+
+    # -------------------------------------------------------------- rebalance
+
+    def resize(
+        self, shards: int, shard_weights: Optional[Sequence[float]] = None
+    ) -> RebalanceReport:
+        """Change the shard count (and optionally weights) under live traffic.
+
+        The rebalance is a control-plane operation over the same primitives
+        the data plane already trusts, in an order that never drops an
+        acknowledged frame:
+
+        1. New shards (on grow) are minted with the node's original build
+           parameters, wired to every external face, and handed the node's
+           strategy choices — all before any key moves.
+        2. The picker switches atomically; from this instant new packets
+           hash with the new placement.
+        3. Per-shard Content Store capacities are re-split from the node
+           budget across the new shard count.
+        4. Routes and producers whose shard key changed owner are installed
+           on their new shards (at the original cost) before being removed
+           from the old ones — make-before-break.
+        5. Pending Interests stranded on a shard that no longer owns their
+           key are Nacked downstream (``NoRoute``) through the normal
+           pipeline, so retrying consumers re-express and re-route; Data
+           already egressed is untouched and the boundary byte ledgers stay
+           exact.
+        6. Cached Data whose key moved is erased (firing the hot-cache
+           coherence callback); on shrink the removed shards' caches are
+           cleared and their boundary pairs closed.
+
+        ``shard_weights`` (rendezvous partitioner only) applies weighted
+        placement; omitting it drops any existing weighting.  Consistency
+        caveat: an unweighted grow from N to N+1 only moves keys onto the
+        new shard, but changing weights can move keys between existing
+        shards — both are reported per-category in the returned
+        :class:`RebalanceReport`.
+        """
+        if shards < 1:
+            raise NDNError(f"{self.name}: need at least one shard, got {shards}")
+        weights = (
+            tuple(float(weight) for weight in shard_weights)
+            if shard_weights is not None else None
+        )
+        new_picker = make_shard_picker(self.partitioner, shards, weights)
+        old_count = self.num_shards
+        report = RebalanceReport(
+            at=self.env.now, old_shards=old_count, new_shards=shards
+        )
+
+        # 1. Mint and wire new shards before anything routes to them.
+        for index in range(old_count, shards):
+            shard = Forwarder(
+                self.env,
+                name=f"{self.name}/shard{index}",
+                cs_capacity=self._shard_capacity(self._cs_capacity, index, shards),
+                cs_policy=self._cs_policy,
+                cache_unsolicited=self._cache_unsolicited,
+                tracer=self.tracer,
+            )
+            if self.hot_cache is not None:
+                shard.cs.on_evict = self.hot_cache.invalidate_name
+            for prefix, strategy in self._strategies:
+                shard.set_strategy(prefix, strategy)
+            self.shards.append(shard)
+            self._shard_servers.append(
+                SerialServer(self.env, self._shard_service_s, f"{self.name}/shard{index}")
+            )
+            for face_id in self._faces:
+                self._wire_boundary(face_id, index)
+
+        # 2. Switch placement: new packets hash with the new picker now.
+        self._picker = new_picker
+        self.num_shards = shards
+        self._shard_weights = weights
+
+        # 3. Re-split the node's CS budget across the new shard count.
+        if self._cs_capacity is not None:
+            for index in range(shards):
+                self.shards[index].cs.capacity = self._shard_capacity(
+                    self._cs_capacity, index, shards
+                )
+
+        # 4a. Re-home routes: install on new owners, then drop old ones.
+        for (prefix, ext_id), old_owners in list(self._registrations.items()):
+            new_owners = self._owning_shards(prefix)
+            cost = self._registration_costs.get((prefix, ext_id), 0.0)
+            for index in [idx for idx in new_owners if idx not in old_owners]:
+                shard_side = self._mirrors[(ext_id, index)][1]
+                self.shards[index].register_prefix(prefix, shard_side, cost)
+                report.routes_added += 1
+            for index in [idx for idx in old_owners if idx not in new_owners]:
+                pair = self._mirrors.get((ext_id, index))
+                if pair is not None:
+                    self.shards[index].unregister_prefix(prefix, pair[1])
+                report.routes_removed += 1
+            self._registrations[(prefix, ext_id)] = new_owners
+
+        # 5. Nack pending Interests whose key changed owner mid-flight —
+        # before producers are torn off their old shards, so every moved
+        # entry is resolved (and counted) here rather than rescued as a
+        # side effect of the producer face removal below.
+        for index, shard in enumerate(self.shards):
+            if index < shards:
+                report.pending_aborted += shard.abort_pending(
+                    lambda entry, index=index: (
+                        len(entry.name) >= self.key_depth
+                        and self._picker(shard_key(entry.name, self.key_depth)) != index
+                    )
+                )
+            else:  # shard is going away: everything pending is stranded
+                report.pending_aborted += shard.abort_pending(lambda entry: True)
+
+        # 4b. Re-home producers the same way (make-before-break).
+        for record in self._producers:
+            new_owners = self._owning_shards(record.prefix)
+            added = [idx for idx in new_owners if idx not in record.faces]
+            removed = [idx for idx in list(record.faces) if idx not in new_owners]
+            if (added or removed) and self.hot_cache is not None:
+                self.hot_cache.invalidate_under(record.prefix)
+            for index in added:
+                record.faces[index] = self.shards[index].attach_producer(
+                    record.prefix, record.handler, record.delay_s
+                )
+                report.producers_added += 1
+            for index in removed:
+                app_face = record.faces.pop(index)
+                peer = app_face.peer
+                if peer is not None:
+                    self.shards[index].remove_face(peer.face_id)
+                report.producers_removed += 1
+
+        # 5. Nack pending Interests whose key changed owner mid-flight.
+        for index, shard in enumerate(self.shards):
+            if index < shards:
+                report.pending_aborted += shard.abort_pending(
+                    lambda entry, index=index: (
+                        len(entry.name) >= self.key_depth
+                        and self._picker(shard_key(entry.name, self.key_depth)) != index
+                    )
+                )
+            else:  # shard is going away: everything pending is stranded
+                report.pending_aborted += shard.abort_pending(lambda entry: True)
+
+        # 6. Drop moved cache entries (fires hot-cache invalidation).
+        for index in range(min(shards, len(self.shards))):
+            shard = self.shards[index]
+            moved = [
+                name for name in shard.cs.names()
+                if len(name) >= self.key_depth
+                and self._picker(shard_key(name, self.key_depth)) != index
+            ]
+            before = len(shard.cs)
+            for name in moved:
+                shard.cs.erase(name)
+            report.cs_entries_dropped += before - len(shard.cs)
+        if shards < old_count:
+            for index in range(shards, old_count):
+                shard = self.shards[index]
+                report.cs_entries_dropped += len(shard.cs)
+                shard.cs.clear()
+                for face_id in list(self._faces):
+                    pair = self._mirrors.pop((face_id, index), None)
+                    if pair is not None:
+                        pair[0].close()
+            del self.shards[shards:]
+            del self._shard_servers[shards:]
+
+        self.rebalances.append(report)
+        self.tracer.record(
+            "shard", "resize", old=old_count, new=shards,
+            aborted=report.pending_aborted,
+        )
+        return report
+
+    def set_shard_weights(self, weights: Sequence[float]) -> RebalanceReport:
+        """Re-weight the rendezvous partitioner live (a same-count resize)."""
+        return self.resize(self.num_shards, weights)
+
+    def crash_shard(self, index: int) -> int:
+        """Abruptly fail one shard worker and recover it cold.
+
+        Models a worker crash plus supervisor restart: every Interest
+        pending on the shard is Nacked downstream (``NoRoute``) — the
+        dispatcher answering on behalf of the dead worker, which is what
+        lets self-healing consumers retransmit instead of waiting out
+        their lifetimes — and the shard's Content Store is dropped (a
+        restarted worker starts cold).  Tables end empty, faces and routes
+        stay intact.  Returns the number of pending Interests aborted.
+        """
+        if not 0 <= index < len(self.shards):
+            raise NDNError(f"{self.name}: no shard {index} to crash")
+        shard = self.shards[index]
+        aborted = shard.abort_pending(lambda entry: True)
+        shard.cs.clear()
+        self.tracer.record("shard", "crash", shard=index, aborted=aborted)
+        return aborted
 
     # ------------------------------------------------------------- dispatching
 
@@ -801,7 +1077,14 @@ class ShardedForwarder:
     def _send_out(
         self, ext_id: int, packet: WirePacket, from_shard: Optional[int] = None
     ) -> None:
-        if from_shard is not None and self.hot_cache is not None and packet.is_data:
+        if (
+            from_shard is not None
+            and from_shard < len(self.shards)
+            and self.hot_cache is not None
+            and packet.is_data
+        ):
+            # The bounds check covers a shard removed by a shrinking
+            # resize() while its last egress frames were still queued.
             self._hot_insert(packet, from_shard)
         face = self._faces.get(ext_id)
         if face is None:

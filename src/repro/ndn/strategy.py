@@ -27,6 +27,7 @@ __all__ = [
     "BestRouteStrategy",
     "MulticastStrategy",
     "LoadBalanceStrategy",
+    "FailoverStrategy",
     "StrategyChoiceTable",
     "DispatcherHotCache",
 ]
@@ -55,6 +56,14 @@ class Strategy:
             for hop in fib_entry.nexthops
             if hop.face_id != in_face_id and hop.face_id not in tried_faces
         ]
+
+    def note_nack(self, face_id: int, now: float) -> None:
+        """Feedback hook: an upstream on ``face_id`` Nacked at ``now``.
+
+        The forwarder's Nack pipeline calls this for every received Nack;
+        the base strategies ignore it, failover-aware ones use it to steer
+        subsequent Interests away from the failing next hop.
+        """
 
 
 class BestRouteStrategy(Strategy):
@@ -114,6 +123,58 @@ class LoadBalanceStrategy(Strategy):
         counter = self._counters.get(fib_entry.prefix, 0)
         self._counters[fib_entry.prefix] = counter + 1
         return [eligible[counter % len(eligible)].face_id]
+
+
+class FailoverStrategy(Strategy):
+    """Best-route with a penalty box fed by Nack feedback.
+
+    Every received Nack puts the Nacking next hop in a penalty box for
+    ``cooldown_s`` simulated seconds (:meth:`Strategy.note_nack`, wired
+    through the forwarder's Nack pipeline).  Selection is lowest-cost over
+    the non-penalised next hops, so traffic fails over to a healthy
+    upstream immediately and only drifts back once the cooldown expires.
+    When *every* eligible hop is penalised the strategy falls back to
+    plain best-route — a flapping path beats a guaranteed NoRoute.
+    """
+
+    name = "failover"
+
+    def __init__(self, cooldown_s: float = 5.0, clock=None) -> None:
+        if cooldown_s < 0:
+            raise NDNError(f"failover cooldown must be >= 0, got {cooldown_s}")
+        self.cooldown_s = cooldown_s
+        #: Simulated-time source; without one the strategy tracks the latest
+        #: time it saw through ``note_nack`` (good enough for cooldowns that
+        #: only need to expire relative to later failures).
+        self._clock = clock
+        #: face id -> simulated time until which the face is penalised.
+        self._penalty_until: dict[int, float] = {}
+        self.nacks_noted = 0
+        self._last_seen = 0.0
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        return self._last_seen
+
+    def note_nack(self, face_id: int, now: float) -> None:
+        self._penalty_until[face_id] = now + self.cooldown_s
+        self._last_seen = max(self._last_seen, now)
+        self.nacks_noted += 1
+
+    def penalised(self, face_id: int, now: Optional[float] = None) -> bool:
+        when = self._now() if now is None else now
+        return self._penalty_until.get(face_id, 0.0) > when
+
+    def select(self, interest, fib_entry, in_face_id, tried_faces=()):
+        eligible = self._eligible(fib_entry, in_face_id, tried_faces)
+        if not eligible:
+            return []
+        now = self._now()
+        healthy = [hop for hop in eligible if not self.penalised(hop.face_id, now)]
+        pool = healthy or eligible
+        best = min(pool, key=lambda hop: (hop.cost, hop.face_id))
+        return [best.face_id]
 
 
 class _HotEntry:

@@ -59,6 +59,12 @@ class Tracer:
     def __len__(self) -> int:
         return len(self.events)
 
+    def __bool__(self) -> bool:
+        # Without this, an *empty* tracer is falsy (via ``__len__``) and
+        # every ``tracer or Tracer(...)`` default silently replaces a
+        # caller-supplied tracer that simply has no events yet.
+        return True
+
     def filter(self, category: Optional[str] = None, event: Optional[str] = None) -> list[TraceEvent]:
         """All records matching the filters, in order."""
         return [ev for ev in self.events if ev.matches(category, event)]

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
 from repro.exceptions import InterestTimeout
-from repro.ndn.client import Consumer
+from repro.ndn.client import Consumer, RetryPolicy
 from repro.sim.engine import Environment, Event
 from repro.sim.rng import SeededRNG
 from repro.workload.arrivals import ArrivalProcess
@@ -89,6 +89,10 @@ class WorkloadSpec:
     lifetime_s: float = 4.0
     must_be_fresh: bool = False
     retries: int = 0
+    #: Self-healing retry: a :class:`~repro.ndn.client.RetryPolicy` adds
+    #: jittered exponential backoff and (optionally) retransmission on
+    #: retriable Nacks on top of the plain ``retries`` budget.
+    retry_policy: Optional["RetryPolicy"] = None
 
     def describe(self) -> dict:
         return {
@@ -267,6 +271,7 @@ class WorkloadDriver:
                 lifetime=self.spec.lifetime_s,
                 must_be_fresh=self.spec.must_be_fresh,
                 retries=self.spec.retries,
+                retry_policy=self.spec.retry_policy,
             )
             sent_at = self.env.now
             completion.callbacks.append(

@@ -1,0 +1,170 @@
+"""ShardAutoscaler: watermark decisions, cooldown, failure-signal priority.
+
+The autoscaler is the control loop that closes the chaos feedback path:
+gateway load (the ``packets_dispatched`` counter) and failure signals
+drive ``resize`` on the sharded data plane, optionally mirrored into a
+k8s Deployment's replica count.
+"""
+
+import pytest
+
+from repro.cluster.scheduler import ScalingDecision, ShardAutoscaler
+from repro.ndn.shard import ShardedForwarder
+
+
+def make_node(env, shards=2):
+    return ShardedForwarder(env, name="gw", shards=shards)
+
+
+def pump(node, packets):
+    """Simulate dispatch load by bumping the sampled counter directly."""
+    node.metrics.counter("packets_dispatched").inc(packets)
+
+
+def make_autoscaler(env, node, **overrides):
+    settings = dict(
+        interval_s=1.0, high_watermark=100.0, low_watermark=10.0,
+        min_shards=1, max_shards=4, cooldown_s=0.0, start=False,
+    )
+    settings.update(overrides)
+    return ShardAutoscaler(env, node, **settings)
+
+
+class TestWatermarks:
+    def test_high_rate_scales_up(self, env):
+        node = make_node(env)
+        autoscaler = make_autoscaler(env, node)
+        pump(node, 500)  # 500 pkt/s over 2 shards = 250/s/shard > 100
+        decision = autoscaler.evaluate()
+        assert isinstance(decision, ScalingDecision)
+        assert decision.old_shards == 2 and decision.new_shards == 3
+        assert node.num_shards == 3
+        assert "scale-up" in decision.reason
+
+    def test_low_rate_scales_down(self, env):
+        node = make_node(env, shards=3)
+        autoscaler = make_autoscaler(env, node)
+        pump(node, 3)  # 1 pkt/s/shard < 10
+        decision = autoscaler.evaluate()
+        assert decision.new_shards == 2
+        assert node.num_shards == 2
+
+    def test_mid_band_rate_holds_steady(self, env):
+        node = make_node(env)
+        autoscaler = make_autoscaler(env, node)
+        pump(node, 100)  # 50/s/shard: between the watermarks
+        assert autoscaler.evaluate() is None
+        assert node.num_shards == 2
+
+    def test_bounds_are_respected(self, env):
+        node = make_node(env, shards=4)
+        autoscaler = make_autoscaler(env, node, max_shards=4)
+        pump(node, 10_000)
+        assert autoscaler.evaluate() is None  # already at max
+        low_node = make_node(env, shards=1)
+        low_scaler = make_autoscaler(env, low_node, min_shards=1)
+        assert low_scaler.evaluate() is None  # quiet, already at min
+        assert low_node.num_shards == 1
+
+    def test_rate_is_a_delta_not_a_total(self, env):
+        node = make_node(env)
+        autoscaler = make_autoscaler(env, node)
+        pump(node, 500)
+        autoscaler.evaluate()
+        # No new packets since the last pass: the next evaluation sees a
+        # zero delta (not the historic total) and scales down.
+        decision = autoscaler.evaluate()
+        assert decision is not None and "scale-down" in decision.reason
+
+
+class TestCooldown:
+    def test_cooldown_suppresses_back_to_back_changes(self, env):
+        node = make_node(env)
+        autoscaler = make_autoscaler(env, node, cooldown_s=5.0)
+        pump(node, 500)
+        assert autoscaler.evaluate() is not None
+        pump(node, 500)
+        assert autoscaler.evaluate() is None  # still cooling down
+        env.run(until=6.0)
+        pump(node, 1000)
+        assert autoscaler.evaluate() is not None
+        assert node.num_shards == 4
+
+    def test_cooldown_still_consumes_the_delta(self, env):
+        node = make_node(env)
+        autoscaler = make_autoscaler(env, node, cooldown_s=100.0)
+        pump(node, 500)
+        autoscaler.evaluate()
+        pump(node, 500)
+        autoscaler.evaluate()  # suppressed, but the sample window advances
+        assert autoscaler._last_value == node.metrics.counter(
+            "packets_dispatched"
+        ).value
+
+
+class TestFailureSignals:
+    def test_failure_signal_scales_up_despite_quiet_counter(self, env):
+        node = make_node(env)
+        autoscaler = make_autoscaler(env, node)
+        autoscaler.signal_failure()
+        decision = autoscaler.evaluate()
+        assert decision is not None
+        assert "failure signal" in decision.reason
+        assert node.num_shards == 3
+
+    def test_signals_are_consumed_by_the_evaluation(self, env):
+        node = make_node(env)
+        autoscaler = make_autoscaler(env, node)
+        autoscaler.signal_failure(count=2)
+        assert autoscaler.evaluate() is not None
+        pump(node, 100)  # mid-band
+        assert autoscaler.evaluate() is None  # signals were spent
+
+    def test_failure_priority_beats_scale_down(self, env):
+        node = make_node(env, shards=2)
+        autoscaler = make_autoscaler(env, node)
+        autoscaler.signal_failure()
+        # Quiet counter would say scale down; the failure wins.
+        decision = autoscaler.evaluate()
+        assert decision.new_shards == 3
+
+
+class TestDeploymentMirror:
+    def test_resize_mirrors_into_replica_count(self, env):
+        from repro.cluster.cluster import Cluster, ClusterSpec
+        from repro.cluster.pod import Container, PodSpec
+
+        cluster = Cluster(env, ClusterSpec(name="k8s", node_count=2))
+        deployment = cluster.create_deployment(
+            PodSpec(containers=[Container(name="nfd", image="ndn/nfd:latest")]),
+            name="gateway-nfd", replicas=2,
+        )
+        node = make_node(env)
+        autoscaler = make_autoscaler(
+            env, node, deployment=(cluster.deployments, deployment)
+        )
+        pump(node, 500)
+        autoscaler.evaluate()
+        assert node.num_shards == 3
+        assert deployment.replicas == 3
+
+
+class TestControlLoop:
+    def test_periodic_process_evaluates_on_the_sim_clock(self, env):
+        node = make_node(env)
+        autoscaler = make_autoscaler(env, node, start=True)
+        pump(node, 1000)
+        env.run(until=1.5)  # one interval elapsed
+        assert autoscaler.evaluations == 1
+        assert node.num_shards == 3
+
+    def test_validation(self, env):
+        node = make_node(env)
+        with pytest.raises(ValueError):
+            make_autoscaler(env, node, interval_s=0.0)
+        with pytest.raises(ValueError):
+            make_autoscaler(env, node, min_shards=0)
+        with pytest.raises(ValueError):
+            make_autoscaler(env, node, min_shards=5, max_shards=2)
+        with pytest.raises(ValueError):
+            make_autoscaler(env, node, low_watermark=100.0, high_watermark=100.0)
